@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E1 (see DESIGN.md experiment index).
+
+Regenerates the E1 table via repro.analysis.experiments.e01_devices
+and saves it to benchmarks/out/E1.txt.
+"""
+
+from repro.analysis.experiments import e01_devices
+
+
+def test_e1_devices(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e01_devices.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E1 produced no rows"
+    save_result(result)

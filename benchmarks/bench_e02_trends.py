@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E2 (see DESIGN.md experiment index).
+
+Regenerates the E2 table via repro.analysis.experiments.e02_trends
+and saves it to benchmarks/out/E2.txt.
+"""
+
+from repro.analysis.experiments import e02_trends
+
+
+def test_e2_trends(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e02_trends.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E2 produced no rows"
+    save_result(result)

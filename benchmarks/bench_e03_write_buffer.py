@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E3 (see DESIGN.md experiment index).
+
+Regenerates the E3 table via repro.analysis.experiments.e03_write_buffer
+and saves it to benchmarks/out/E3.txt.
+"""
+
+from repro.analysis.experiments import e03_write_buffer
+
+
+def test_e3_write_buffer(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e03_write_buffer.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E3 produced no rows"
+    save_result(result)

@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E4 (see DESIGN.md experiment index).
+
+Regenerates the E4 table via repro.analysis.experiments.e04_fs_organizations
+and saves it to benchmarks/out/E4.txt.
+"""
+
+from repro.analysis.experiments import e04_fs_organizations
+
+
+def test_e4_fs_organizations(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e04_fs_organizations.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E4 produced no rows"
+    save_result(result)

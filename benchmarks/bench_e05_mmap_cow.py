@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E5 (see DESIGN.md experiment index).
+
+Regenerates the E5 table via repro.analysis.experiments.e05_mmap_cow
+and saves it to benchmarks/out/E5.txt.
+"""
+
+from repro.analysis.experiments import e05_mmap_cow
+
+
+def test_e5_mmap_cow(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e05_mmap_cow.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E5 produced no rows"
+    save_result(result)

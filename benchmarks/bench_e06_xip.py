@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E6 (see DESIGN.md experiment index).
+
+Regenerates the E6 table via repro.analysis.experiments.e06_xip
+and saves it to benchmarks/out/E6.txt.
+"""
+
+from repro.analysis.experiments import e06_xip
+
+
+def test_e6_xip(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e06_xip.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E6 produced no rows"
+    save_result(result)

@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E7 (see DESIGN.md experiment index).
+
+Regenerates the E7 table via repro.analysis.experiments.e07_vm_pressure
+and saves it to benchmarks/out/E7.txt.
+"""
+
+from repro.analysis.experiments import e07_vm_pressure
+
+
+def test_e7_vm_pressure(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e07_vm_pressure.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E7 produced no rows"
+    save_result(result)

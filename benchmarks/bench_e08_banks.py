@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E8 (see DESIGN.md experiment index).
+
+Regenerates the E8 table via repro.analysis.experiments.e08_banks
+and saves it to benchmarks/out/E8.txt.
+"""
+
+from repro.analysis.experiments import e08_banks
+
+
+def test_e8_banks(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e08_banks.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E8 produced no rows"
+    save_result(result)

@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E9 (see DESIGN.md experiment index).
+
+Regenerates the E9 table via repro.analysis.experiments.e09_wear_gc
+and saves it to benchmarks/out/E9.txt.
+"""
+
+from repro.analysis.experiments import e09_wear_gc
+
+
+def test_e9_wear_gc(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e09_wear_gc.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E9 produced no rows"
+    save_result(result)

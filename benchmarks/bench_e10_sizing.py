@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E10 (see DESIGN.md experiment index).
+
+Regenerates the E10 table via repro.analysis.experiments.e10_sizing
+and saves it to benchmarks/out/E10.txt.
+"""
+
+from repro.analysis.experiments import e10_sizing
+
+
+def test_e10_sizing(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e10_sizing.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E10 produced no rows"
+    save_result(result)

@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E11 (see DESIGN.md experiment index).
+
+Regenerates the E11 table via repro.analysis.experiments.e11_battery
+and saves it to benchmarks/out/E11.txt.
+"""
+
+from repro.analysis.experiments import e11_battery
+
+
+def test_e11_battery(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e11_battery.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E11 produced no rows"
+    save_result(result)

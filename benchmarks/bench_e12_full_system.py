@@ -1,0 +1,15 @@
+"""Benchmark harness for experiment E12 (see DESIGN.md experiment index).
+
+Regenerates the E12 table via repro.analysis.experiments.e12_full_system
+and saves it to benchmarks/out/E12.txt.
+"""
+
+from repro.analysis.experiments import e12_full_system
+
+
+def test_e12_full_system(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e12_full_system.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E12 produced no rows"
+    save_result(result)

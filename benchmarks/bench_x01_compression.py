@@ -1,0 +1,11 @@
+"""Benchmark harness for ablation X1 (flash compression)."""
+
+from repro.analysis.experiments import x01_compression
+
+
+def test_x1_compression(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: x01_compression.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "X1 produced no rows"
+    save_result(result)

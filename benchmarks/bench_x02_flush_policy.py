@@ -1,0 +1,11 @@
+"""Benchmark harness for ablation X2 (write-buffer flush policy)."""
+
+from repro.analysis.experiments import x02_flush_policy
+
+
+def test_x2_flush_policy(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: x02_flush_policy.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "X2 produced no rows"
+    save_result(result)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Flash lifetime planner: choose buffer size and wear policy for a workload.
+
+A design-time tool a 1993 systems engineer would want: given a target
+workload, sweep the write-buffer size and the wear-leveling policy and
+report the projected flash lifetime, so the DRAM budget (Section 4) can
+be chosen against a lifetime requirement instead of guesswork.
+
+Run:  python examples/flash_lifetime_planner.py
+"""
+
+import math
+
+from repro import MobileComputer, Organization, SystemConfig
+from repro.analysis.report import format_table
+from repro.storage.wear import WearPolicy
+
+KB = 1024
+MB = 1024 * 1024
+
+BUFFERS = [0, 64 * KB, 256 * KB, 1 * MB]
+POLICIES = [WearPolicy.NONE, WearPolicy.DYNAMIC, WearPolicy.STATIC]
+
+
+def run_case(buffer_bytes: int, wear: WearPolicy) -> list:
+    config = SystemConfig(
+        organization=Organization.SOLID_STATE,
+        dram_bytes=4 * MB,
+        flash_bytes=6 * MB,  # small card: cleaning pressure is real
+        write_buffer_bytes=buffer_bytes,
+        wear_policy=wear,
+        program_flash_bytes=512 * KB,
+        seed=11,
+    )
+    machine = MobileComputer(config)
+    _report, metrics = machine.run_workload("office", duration_s=600.0)
+    lifetime = metrics.lifetime
+    days = None
+    if lifetime is not None and not math.isinf(lifetime.projected_seconds):
+        days = lifetime.projected_days
+    return [
+        buffer_bytes // KB,
+        wear.value,
+        metrics.flash_erases,
+        metrics.wear_cov,
+        f"{metrics.write_traffic_reduction:.0%}",
+        days if days is not None else "beyond horizon",
+    ]
+
+
+def main() -> None:
+    rows = [run_case(buffer, wear) for buffer in BUFFERS for wear in POLICIES]
+    print(
+        format_table(
+            ["buffer_KB", "wear_policy", "erases", "wear_cov", "traffic_cut", "lifetime_days"],
+            rows,
+            title="office workload on a 6 MB flash card: lifetime by design choice",
+        )
+    )
+    print()
+    print("reading the table: a bigger buffer cuts erase traffic at the")
+    print("source; dynamic/static leveling spreads whatever remains, and")
+    print("the two compose -- exactly the paper's Section 3.3 prescription.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Experiment drivers and report formatting.
+
+:mod:`repro.analysis.report` renders ASCII tables; the
+:mod:`repro.analysis.experiments` subpackage holds one driver per
+experiment (E1-E12), shared by the benchmark harness, the examples, and
+EXPERIMENTS.md regeneration.
+"""
+
+from repro.analysis.report import format_kv, format_table, human_bytes, human_seconds
+
+__all__ = ["format_table", "format_kv", "human_bytes", "human_seconds"]

@@ -1,0 +1,34 @@
+"""Common result type for experiment drivers.
+
+Every E-driver returns an :class:`ExperimentResult`: a titled table plus
+free-form notes, so benchmarks print uniformly and EXPERIMENTS.md can be
+regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's regenerated table."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence]
+    notes: List[str] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [format_table(self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}")]
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def row_dicts(self) -> List[dict]:
+        return [dict(zip(self.headers, row)) for row in self.rows]

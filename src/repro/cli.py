@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``devices``      -- print the 1993 device catalog (E1's raw material).
+- ``trends``       -- print the technology-trend tables and crossovers.
+- ``workloads``    -- list the available synthetic workloads.
+- ``run``          -- run one workload on one organization, print metrics.
+- ``compare``      -- run one workload on every organization, side by side.
+- ``experiment``   -- run one (or all) of the E1-E12 experiment drivers.
+
+Everything prints plain ASCII tables; no flags produce files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.analysis.report import format_kv, format_table, human_bytes, human_seconds
+from repro.core.config import Organization, SystemConfig
+from repro.core.hierarchy import MobileComputer
+from repro.devices.catalog import MB, catalog_specs
+from repro.trace.workloads import WORKLOADS
+from repro.trends.model import SmallConfigCostModel, default_trends_1993
+
+
+def _cmd_devices(_args) -> int:
+    rows = []
+    for spec in catalog_specs().values():
+        rows.append(
+            [
+                spec.name,
+                spec.kind,
+                spec.read_per_byte_s * 1e9,
+                spec.write_per_byte_s * 1e9,
+                None if spec.erase_latency_s is None else spec.erase_latency_s * 1e3,
+                spec.dollars_per_mb,
+                spec.density_mb_per_cubic_inch,
+            ]
+        )
+    print(
+        format_table(
+            ["device", "kind", "read_ns/B", "write_ns/B", "erase_ms", "$/MB", "MB/in^3"],
+            rows,
+            title="1993 device catalog (paper Section 2)",
+        )
+    )
+    return 0
+
+
+def _cmd_trends(_args) -> int:
+    trends = default_trends_1993()
+    rows = [
+        [
+            row["year"],
+            row["dram_dollars_per_mb"],
+            row["flash_dollars_per_mb"],
+            row["disk_dollars_per_mb"],
+        ]
+        for row in trends.cost_table(1993, 2000)
+    ]
+    print(format_table(["year", "DRAM $/MB", "flash $/MB", "disk $/MB"], rows,
+                       title="cost trends (40%/yr semiconductor, 25%/yr disk)"))
+    print()
+    small = SmallConfigCostModel()
+    print(
+        format_kv(
+            [
+                ("DRAM/disk density crossover", f"{trends.dram_disk_density_crossover():.1f}"),
+                ("DRAM/disk $/MB crossover", f"{trends.dram_disk_cost_crossover():.1f}"),
+                ("40MB flash/disk parity (mfr assumptions)", f"{small.parity_year(40):.1f}"),
+            ],
+            title="crossovers",
+        )
+    )
+    return 0
+
+
+def _cmd_workloads(_args) -> int:
+    rows = []
+    for name, factory in sorted(WORKLOADS.items()):
+        profile = factory()  # type: ignore[operator]
+        rows.append(
+            [
+                name,
+                profile.ops_per_second,
+                profile.p_write + profile.p_whole_rewrite,
+                profile.initial_files,
+                int(profile.file_size_median),
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "ops/s", "write_frac", "files", "median_size_B"],
+            rows,
+            title="synthetic workloads (calibrated to Baker '91 / Ousterhout '85)",
+        )
+    )
+    return 0
+
+
+def _machine_for(args) -> MobileComputer:
+    config = SystemConfig(
+        organization=Organization(args.organization),
+        dram_bytes=int(args.dram_mb * MB),
+        flash_bytes=int(args.flash_mb * MB),
+        disk_bytes=int(args.disk_mb * MB),
+        write_buffer_bytes=int(args.buffer_kb * 1024),
+        seed=args.seed,
+    )
+    return MobileComputer(config)
+
+
+def _metric_rows(metrics) -> list:
+    return [
+        ("mean write latency", human_seconds(metrics.mean_write_latency)),
+        ("p95 write latency", human_seconds(metrics.p95_write_latency)),
+        ("mean read latency", human_seconds(metrics.mean_read_latency)),
+        ("app bytes written", human_bytes(metrics.app_bytes_written)),
+        ("flash bytes programmed", human_bytes(metrics.flash_bytes_programmed)),
+        ("write-traffic reduction", f"{metrics.write_traffic_reduction:.0%}"),
+        ("flash erases", metrics.flash_erases),
+        ("energy", f"{metrics.energy_joules:.2f} J"),
+        ("average power", f"{metrics.average_power_watts * 1e3:.1f} mW"),
+        ("storage cost (1993)", f"${metrics.storage_cost_dollars:,.0f}"),
+    ]
+
+
+def _cmd_run(args) -> int:
+    machine = _machine_for(args)
+    report, metrics = machine.run_workload(args.workload, duration_s=args.duration)
+    print(
+        format_kv(
+            [("organization", args.organization), ("workload", args.workload),
+             ("records", report.records)] + _metric_rows(metrics),
+            title=f"{args.workload} on {args.organization} "
+            f"({args.duration:.0f} simulated seconds)",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rows = []
+    for org in Organization:
+        args.organization = org.value
+        machine = _machine_for(args)
+        _report, metrics = machine.run_workload(args.workload, duration_s=args.duration)
+        rows.append(
+            [
+                org.value,
+                metrics.mean_write_latency * 1e3,
+                metrics.mean_read_latency * 1e3,
+                metrics.energy_joules,
+                metrics.flash_erases or None,
+                f"{metrics.write_traffic_reduction:.0%}"
+                if metrics.write_traffic_reduction
+                else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["organization", "write_ms", "read_ms", "energy_J", "erases", "traffic_cut"],
+            rows,
+            title=f"{args.workload}, {args.duration:.0f} simulated seconds",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    ids = list(ALL_EXPERIMENTS) if args.id == "all" else [args.id.upper()]
+    for eid in ids:
+        driver = ALL_EXPERIMENTS.get(eid)
+        if driver is None:
+            print(f"unknown experiment {eid!r}; choose from {', '.join(ALL_EXPERIMENTS)}",
+                  file=sys.stderr)
+            return 2
+        result = driver(quick=not args.full)
+        print(result.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'OS Implications of Solid-State Mobile "
+        "Computers' (HotOS 1993)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="print the 1993 device catalog")
+    sub.add_parser("trends", help="print technology-trend tables")
+    sub.add_parser("workloads", help="list synthetic workloads")
+
+    def add_machine_args(p):
+        p.add_argument("--organization", default="solid_state",
+                       choices=[o.value for o in Organization])
+        p.add_argument("--workload", default="office", choices=sorted(WORKLOADS))
+        p.add_argument("--duration", type=float, default=120.0,
+                       help="simulated seconds (default 120)")
+        p.add_argument("--dram-mb", type=float, default=4.0)
+        p.add_argument("--flash-mb", type=float, default=16.0)
+        p.add_argument("--disk-mb", type=float, default=40.0)
+        p.add_argument("--buffer-kb", type=float, default=1024.0)
+        p.add_argument("--seed", type=int, default=0)
+
+    run_p = sub.add_parser("run", help="run one workload on one organization")
+    add_machine_args(run_p)
+
+    cmp_p = sub.add_parser("compare", help="run one workload on all organizations")
+    add_machine_args(cmp_p)
+
+    exp_p = sub.add_parser("experiment", help="run experiment drivers (E1-E12)")
+    exp_p.add_argument("id", help="experiment id (E1..E12) or 'all'")
+    exp_p.add_argument("--full", action="store_true",
+                       help="paper-length durations instead of quick mode")
+    return parser
+
+
+_COMMANDS = {
+    "devices": _cmd_devices,
+    "trends": _cmd_trends,
+    "workloads": _cmd_workloads,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

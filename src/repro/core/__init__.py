@@ -1,0 +1,25 @@
+"""Core: whole-machine assembly of the paper's storage organizations.
+
+- :mod:`repro.core.config` -- :class:`SystemConfig` describing a mobile
+  computer (capacities, devices, policies, organization).
+- :mod:`repro.core.hierarchy` -- :class:`MobileComputer`: builds the
+  device complement, memory system, file system, and storage manager for
+  any organization, replays workloads, and launches programs.
+- :mod:`repro.core.metrics` -- :class:`RunMetrics`, the uniform result
+  record every experiment reports.
+- :mod:`repro.core.lifetime` -- flash lifetime projection from observed
+  per-sector erase rates.
+"""
+
+from repro.core.config import Organization, SystemConfig
+from repro.core.hierarchy import MobileComputer
+from repro.core.lifetime import lifetime_projection
+from repro.core.metrics import RunMetrics
+
+__all__ = [
+    "Organization",
+    "SystemConfig",
+    "MobileComputer",
+    "RunMetrics",
+    "lifetime_projection",
+]

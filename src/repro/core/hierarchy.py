@@ -1,0 +1,494 @@
+"""Whole-machine assembly: the :class:`MobileComputer`.
+
+One class builds any of the five storage organizations from a
+:class:`~repro.core.config.SystemConfig` and exposes a uniform surface:
+
+- ``fs``         -- a :class:`~repro.fs.api.FileSystem`
+- ``vm``         -- the virtual memory system
+- ``programs``   -- the XIP program store (a dedicated flash chip, the
+  OmniBook's "software shipped in removable memory cards")
+- ``run_workload`` -- trace replay with timers, program launches, power
+  settlement, and metric collection wired up.
+
+The organizations differ exactly where the paper says they should:
+
+==============  =====================  ==========================
+organization    file system            secondary storage path
+==============  =====================  ==========================
+SOLID_STATE     memory-resident        DRAM buffer -> flash log
+NAIVE_FLASH     memory-resident        synchronous in-place flash
+DISK            conventional + cache   magnetic disk
+FLASH_DISK      conventional + cache   flash behind a log FTL
+FLASH_EIP       conventional + cache   flash, erase-in-place
+==============  =====================  ==========================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import Organization, SystemConfig
+from repro.core.lifetime import lifetime_projection
+from repro.core.metrics import RunMetrics
+from repro.devices.battery import BatteryBank
+from repro.devices.cpu import CPU
+from repro.devices.dram import DRAM
+from repro.devices.flash import FlashMemory
+from repro.devices.disk import MagneticDisk
+from repro.fs.blockdev import DiskBlockDevice
+from repro.fs.cache import BufferCache
+from repro.fs.diskfs import ConventionalFileSystem, mkfs
+from repro.fs.flashlog import EraseInPlaceFlashBlockDevice, LogStructuredFTL
+from repro.fs.memfs import MemoryFileSystem
+from repro.mem.address import FLASH_BASE, PhysicalAddressSpace
+from repro.mem.mmap import MmapManager
+from repro.mem.paging import PAGE_SIZE, PageFrameAllocator
+from repro.mem.swap import FlashSwap, RawDiskSwap, SwapBackend
+from repro.mem.tlb import TLB
+from repro.mem.vm import VirtualMemory
+from repro.mem.xip import LaunchResult, ProgramStore, launch_load, launch_xip
+from repro.power.energy import PowerModel
+from repro.sim.engine import Engine
+from repro.sim.rand import substream
+from repro.sim.stats import StatRegistry
+from repro.storage.banks import BankPartition
+from repro.storage.compression import BlockCompressor
+from repro.storage.flashstore import FlashStore, StoreMode
+from repro.storage.manager import StorageManager
+from repro.storage.writebuffer import WriteBuffer
+from repro.trace.model import TraceRecord
+from repro.trace.replay import ReplayReport, TraceReplayer
+from repro.trace.workloads import WORKLOADS, generate_workload
+
+DEFAULT_PROGRAM_BYTES = 64 * 1024
+MAX_RESIDENT_PROCESSES = 4
+
+
+class MobileComputer:
+    """A simulated mobile computer in one of the five organizations."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.validate()
+        self.config = config
+        self.engine = Engine()
+        self.clock = self.engine.clock
+        self.phys = PhysicalAddressSpace(self.clock)
+        self.stats = StatRegistry("machine")
+
+        # --- Primary storage and power. ---------------------------------
+        self.cpu = CPU()
+        self.dram = DRAM(config.dram_bytes, spec=config.dram_spec)
+        self.dram_region = self.phys.add_region("dram", self.dram)
+        self.battery = BatteryBank(
+            config.primary_battery_joules, config.backup_battery_joules
+        )
+        self.battery.on_power_loss(self._on_power_loss)
+        devices: List = [self.dram, self.cpu]
+
+        # --- Organization-specific secondary storage. -------------------
+        org = config.organization
+        self.flash: Optional[FlashMemory] = None
+        self.disk: Optional[MagneticDisk] = None
+        self.store: Optional[FlashStore] = None
+        self.manager: Optional[StorageManager] = None
+        self.cache: Optional[BufferCache] = None
+        self.mmap: Optional[MmapManager] = None
+        swap: Optional[SwapBackend] = None
+
+        if org is not Organization.DISK:
+            self.flash = FlashMemory(
+                config.flash_bytes,
+                spec=config.flash_spec,
+                banks=config.flash_banks,
+                name="flash-data",
+            )
+            self.flash_region = self.phys.add_region(
+                "flash", self.flash, base=FLASH_BASE
+            )
+            devices.append(self.flash)
+
+        if org in (Organization.SOLID_STATE, Organization.NAIVE_FLASH):
+            assert self.flash is not None
+            solid = org is Organization.SOLID_STATE
+            partition = (
+                BankPartition(self.flash, config.write_banks)
+                if (solid and config.write_banks is not None)
+                else BankPartition.unpartitioned(self.flash)
+            )
+            self.store = FlashStore(
+                self.flash,
+                self.clock,
+                mode=StoreMode.LOGGING if solid else StoreMode.IN_PLACE,
+                cleaning=config.cleaning_policy,
+                wear=config.wear_policy,
+                partition=partition,
+            )
+            buffer = WriteBuffer(
+                config.write_buffer_bytes if solid else 0,
+                self.clock,
+                dram=self.dram,
+                age_limit_s=config.buffer_age_limit_s,
+            )
+            compressor = (
+                BlockCompressor(self.clock, cpu=self.cpu)
+                if (solid and config.compress_flash)
+                else None
+            )
+            self.manager = StorageManager(
+                self.clock, self.store, buffer, dram=self.dram,
+                compressor=compressor,
+            )
+            if solid:
+                self.manager.attach_flush_timer(
+                    self.engine, config.flush_interval_s
+                )
+            self.fs = MemoryFileSystem(self.manager, dram=self.dram)
+            if solid:
+                swap = FlashSwap(self.store)
+                if config.checkpoint_interval_s > 0:
+                    self.engine.schedule_every(
+                        config.checkpoint_interval_s,
+                        self._periodic_checkpoint,
+                        name="fs-checkpoint",
+                    )
+
+        elif org is Organization.DISK:
+            self.disk = MagneticDisk(
+                config.disk_bytes,
+                spec=config.disk_spec,
+                spin_down_timeout_s=config.disk_spin_down_s,
+            )
+            devices.append(self.disk)
+            data_bytes = config.disk_bytes - config.swap_bytes
+            blockdev = DiskBlockDevice(
+                self.disk, self.clock, nblocks=data_bytes // 4096
+            )
+            self.cache = BufferCache(
+                blockdev,
+                self.clock,
+                capacity_blocks=max(8, config.cache_bytes // 4096),
+                dram=self.dram,
+            )
+            self.cache.attach_sync_timer(self.engine, config.cache_sync_interval_s)
+            layout = mkfs(self.cache)
+            self.fs = ConventionalFileSystem(self.cache, layout)
+            if config.swap_bytes >= PAGE_SIZE:
+                swap = RawDiskSwap(
+                    self.disk, self.clock, data_bytes, config.swap_bytes
+                )
+
+        else:  # FLASH_DISK or FLASH_EIP
+            assert self.flash is not None
+            if org is Organization.FLASH_DISK:
+                self.store = FlashStore(
+                    self.flash,
+                    self.clock,
+                    cleaning=config.cleaning_policy,
+                    wear=config.wear_policy,
+                )
+                blockdev = LogStructuredFTL(self.store)
+                swap = FlashSwap(self.store)
+            else:
+                blockdev = EraseInPlaceFlashBlockDevice(self.flash, self.clock)
+            self.cache = BufferCache(
+                blockdev,
+                self.clock,
+                capacity_blocks=max(8, config.cache_bytes // 4096),
+                dram=self.dram,
+            )
+            self.cache.attach_sync_timer(self.engine, config.cache_sync_interval_s)
+            layout = mkfs(self.cache)
+            self.fs = ConventionalFileSystem(self.cache, layout)
+
+        # --- Virtual memory. ---------------------------------------------
+        frame_bytes = (config.vm_frame_bytes() // PAGE_SIZE) * PAGE_SIZE
+        self.frames = PageFrameAllocator(self.dram_region.base, frame_bytes)
+        self.tlb = TLB(entries=config.tlb_entries)
+        self.vm = VirtualMemory(
+            self.phys, self.frames, swap=swap,
+            fault_overhead_s=config.fault_overhead_s,
+            tlb=self.tlb, cpu=self.cpu,
+        )
+        self.swap = swap
+
+        # --- Program store (XIP flash card). -----------------------------
+        self.program_flash = FlashMemory(
+            config.program_flash_bytes,
+            spec=config.flash_spec,
+            banks=1,
+            name="flash-programs",
+        )
+        self.program_region = self.phys.add_region(
+            "flash-programs", self.program_flash
+        )
+        devices.append(self.program_flash)
+        self.programs = ProgramStore(self.phys, self.program_region)
+        self._program_sizes: Dict[str, int] = {}
+        self._resident: List = []  # (space, LaunchResult) FIFO
+
+        if self.store is not None and org is Organization.SOLID_STATE:
+            self.mmap = MmapManager(self.vm, self.flash_region, self.store)
+
+        # --- Power model. -------------------------------------------------
+        self.power = PowerModel(
+            devices, battery=self.battery, base_load_watts=config.base_load_watts
+        )
+        self.power.attach_timer(self.engine, config.power_settle_interval_s)
+        self._rng = substream(config.seed, "machine")
+
+    # ------------------------------------------------------------------
+    # Programs (experiment E6).
+    # ------------------------------------------------------------------
+
+    def register_programs(self, programs: Tuple[Tuple[str, int], ...]) -> None:
+        """Declare program names and code sizes before replay."""
+        for name, size in programs:
+            self._program_sizes[name] = size
+
+    def _ensure_installed(self, name: str):
+        if name in self.programs.installed():
+            return self.programs.get(name)
+        size = self._program_sizes.get(name, DEFAULT_PROGRAM_BYTES)
+        code = bytes((i * 37 + len(name)) & 0xFF for i in range(256)) * (
+            (size + 255) // 256
+        )
+        return self.programs.install(name, code[:size])
+
+    def launch_program(self, name: str) -> LaunchResult:
+        """Launch a program per the organization's policy (XIP vs load)."""
+        image = self._ensure_installed(name)
+        space = self.vm.create_space(f"proc-{name}-{self.stats.counter('launches').value:.0f}")
+        if self.config.organization is Organization.SOLID_STATE:
+            result = launch_xip(self.vm, space, image)
+        else:
+            result = launch_load(self.vm, space, image)
+        # Touch the entry point: one page of instruction fetch.
+        self.vm.execute(space, result.code_vaddr, min(PAGE_SIZE, image.code_bytes))
+        self.stats.counter("launches").add(1)
+        self.stats.histogram("launch_latency").record(result.launch_latency_s)
+        self.stats.histogram("launch_dram_pages").record(result.dram_pages_used)
+        self._resident.append((space, result))
+        while len(self._resident) > MAX_RESIDENT_PROCESSES:
+            old_space, _ = self._resident.pop(0)
+            self.vm.destroy_space(old_space)
+        return result
+
+    def _exec_handler(self, record: TraceRecord) -> None:
+        if record.program:
+            self.launch_program(record.program)
+
+    # ------------------------------------------------------------------
+    # Power events (experiment E11).
+    # ------------------------------------------------------------------
+
+    def _on_power_loss(self) -> None:
+        lost = 0
+        if self.manager is not None:
+            lost = self.manager.power_loss()
+        if self.cache is not None:
+            lost = self.cache.crash() * 4096
+        self.dram.power_loss()
+        self.stats.counter("power_failures").add(1)
+        self.stats.counter("bytes_lost_to_power_failure").add(lost)
+
+    def _periodic_checkpoint(self) -> None:
+        fs = self.fs
+        if isinstance(fs, MemoryFileSystem) and self.battery.powered:
+            fs.checkpoint()
+
+    def inject_battery_failure(self) -> None:
+        """Abrupt total power failure right now."""
+        self.power.settle(self.clock.now)
+        self.battery.fail_all(self.clock.now)
+
+    def reboot_after_power_loss(self, fresh_primary_joules: Optional[float] = None):
+        """Fresh batteries go in; rebuild the system from stable storage.
+
+        For the solid-state organization this runs the full recovery
+        stack: scan the flash log's summary areas, rebuild the store
+        index and allocator, then reconstruct the file system from the
+        last metadata checkpoint (see
+        :meth:`repro.fs.memfs.MemoryFileSystem.recover`).  Conventional
+        organizations simply remount from the on-device layout.  Returns
+        the :class:`~repro.fs.memfs.RecoveryReport` (or None for
+        conventional organizations).  All processes and swap contents
+        are, of course, gone.
+        """
+        config = self.config
+        self.battery = BatteryBank(
+            fresh_primary_joules
+            if fresh_primary_joules is not None
+            else config.primary_battery_joules,
+            config.backup_battery_joules,
+        )
+        self.battery.on_power_loss(self._on_power_loss)
+        self.power.battery = self.battery
+        self.dram.power_restore()
+
+        # Processes and their frames did not survive; rebuild the VM.
+        self._resident.clear()
+        frame_bytes = (config.vm_frame_bytes() // PAGE_SIZE) * PAGE_SIZE
+        self.frames = PageFrameAllocator(self.dram_region.base, frame_bytes)
+
+        report = None
+        if self.config.organization in (
+            Organization.SOLID_STATE,
+            Organization.NAIVE_FLASH,
+        ):
+            if self.config.organization is Organization.NAIVE_FLASH:
+                raise NotImplementedError(
+                    "the naive in-place store has no recovery metadata -- "
+                    "that is part of why it is the strawman"
+                )
+            assert self.flash is not None
+            partition = (
+                BankPartition(self.flash, config.write_banks)
+                if config.write_banks is not None
+                else BankPartition.unpartitioned(self.flash)
+            )
+            self.store = FlashStore.recover(
+                self.flash,
+                self.clock,
+                cleaning=config.cleaning_policy,
+                wear=config.wear_policy,
+                partition=partition,
+            )
+            buffer = WriteBuffer(
+                config.write_buffer_bytes,
+                self.clock,
+                dram=self.dram,
+                age_limit_s=config.buffer_age_limit_s,
+            )
+            compressor = (
+                BlockCompressor(self.clock, cpu=self.cpu)
+                if config.compress_flash
+                else None
+            )
+            self.manager = StorageManager(
+                self.clock, self.store, buffer, dram=self.dram, compressor=compressor
+            )
+            self.manager.attach_flush_timer(self.engine, config.flush_interval_s)
+            self.fs, report = MemoryFileSystem.recover(self.manager, dram=self.dram)
+            swap = FlashSwap(self.store)
+            self.tlb.flush()
+            self.vm = VirtualMemory(
+                self.phys, self.frames, swap=swap,
+                fault_overhead_s=config.fault_overhead_s,
+                tlb=self.tlb, cpu=self.cpu,
+            )
+            self.swap = swap
+            self.mmap = MmapManager(self.vm, self.flash_region, self.store)
+        else:
+            # Conventional organizations: remount from the device.
+            assert self.cache is not None
+            self.tlb.flush()
+            self.vm = VirtualMemory(
+                self.phys, self.frames, swap=self.swap,
+                fault_overhead_s=config.fault_overhead_s,
+                tlb=self.tlb, cpu=self.cpu,
+            )
+            self.fs = ConventionalFileSystem(self.cache)
+        self.stats.counter("reboots").add(1)
+        return report
+
+    def orderly_shutdown(self) -> None:
+        """Flush everything while power remains, then settle energy."""
+        if self.manager is not None:
+            self.manager.shutdown_flush()
+        if self.cache is not None:
+            self.cache.flush()
+        self.power.settle(self.clock.now)
+
+    # ------------------------------------------------------------------
+    # Running workloads.
+    # ------------------------------------------------------------------
+
+    def run_workload(
+        self,
+        workload: str,
+        seed: Optional[int] = None,
+        duration_s: float = 300.0,
+        sync_at_end: bool = True,
+    ) -> Tuple[ReplayReport, RunMetrics]:
+        """Generate, replay, and measure a named workload."""
+        seed = self.config.seed if seed is None else seed
+        factory = WORKLOADS[workload]
+        profile = factory(duration_s=duration_s)  # type: ignore[operator]
+        if profile.programs:
+            self.register_programs(profile.programs)
+        trace = generate_workload(workload, seed=seed, duration_s=duration_s)
+        report = self.run_trace(trace, sync_at_end=sync_at_end)
+        return report, self.collect_metrics(report, workload)
+
+    def run_trace(self, trace, sync_at_end: bool = True) -> ReplayReport:
+        replayer = TraceReplayer(self.fs, engine=self.engine, exec_handler=self._exec_handler)
+        report = replayer.replay(trace)
+        if sync_at_end:
+            self.fs.sync()
+        self.power.settle(self.clock.now)
+        return report
+
+    # ------------------------------------------------------------------
+    # Metrics.
+    # ------------------------------------------------------------------
+
+    def collect_metrics(self, report: ReplayReport, workload: str) -> RunMetrics:
+        now = self.clock.now
+        self.power.settle(now)
+        m = RunMetrics(
+            organization=self.config.organization.value,
+            workload=workload,
+            sim_seconds=now,
+            records=report.records,
+            mean_read_latency=report.op_latency.get("read", {}).get("mean", 0.0),
+            p95_read_latency=report.op_latency.get("read", {}).get("p95", 0.0),
+            mean_write_latency=report.op_latency.get("write", {}).get("mean", 0.0),
+            p95_write_latency=report.op_latency.get("write", {}).get("p95", 0.0),
+            slowdown=report.slowdown,
+            app_bytes_written=report.bytes_written,
+            app_bytes_read=report.bytes_read,
+            storage_cost_dollars=self.config.storage_budget_dollars(),
+        )
+        if self.flash is not None:
+            m.flash_bytes_programmed = self.flash.stats.bytes_written
+            m.flash_erases = self.flash.stats.erases
+            wear = self.flash.wear_summary()
+            m.wear_cov = wear["wear_cov"]
+            m.max_sector_erases = wear["max_erases"]
+            if now > 0:
+                m.lifetime = lifetime_projection(self.flash, now)
+        if self.disk is not None:
+            m.disk_bytes_written = self.disk.stats.bytes_written
+        if self.manager is not None:
+            m.write_traffic_reduction = self.manager.write_traffic_reduction()
+        if self.store is not None:
+            m.write_amplification = self.store.write_amplification()
+        breakdown = self.power.breakdown(now)
+        m.energy_joules = breakdown.total
+        m.average_power_watts = self.power.average_power_watts(now)
+        m.energy_by_device = {
+            name: breakdown.active.get(name, 0.0) + breakdown.idle.get(name, 0.0)
+            for name in set(breakdown.active) | set(breakdown.idle)
+        }
+        m.battery_fraction_remaining = (
+            self.battery.remaining_joules()
+            / (self.config.primary_battery_joules + self.config.backup_battery_joules)
+        )
+        launches = self.stats.counter("launches").value
+        if launches:
+            m.launches = int(launches)
+            m.mean_launch_latency = self.stats.histogram("launch_latency").mean
+            m.launch_dram_pages = int(self.stats.histogram("launch_dram_pages").mean)
+        return m
+
+    def snapshot(self) -> dict:
+        out = {
+            "organization": self.config.organization.value,
+            "clock": self.clock.now,
+            "battery": self.battery.snapshot(),
+        }
+        if self.manager is not None:
+            out["storage_manager"] = self.manager.snapshot()
+        if self.cache is not None:
+            out["buffer_cache"] = self.cache.snapshot()
+        return out

@@ -1,0 +1,155 @@
+"""Common storage-device machinery.
+
+Every device in the reproduction follows the same contract:
+
+- it stores **real bytes** (so higher layers can be verified end-to-end);
+- every operation returns an :class:`AccessResult` with the service
+  latency in seconds and the energy consumed in joules;
+- it accumulates a :class:`DeviceStats` record that experiment harnesses
+  read instead of instrumenting call sites.
+
+Devices are *time-aware but passive*: callers pass the current simulated
+time in, and devices report how long the operation took (including any
+queueing behind a busy flash bank or a disk spin-up).  The caller decides
+whether to advance a shared clock by that latency.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.devices.errors import OutOfRangeError
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of a single device operation.
+
+    Attributes:
+        latency: total service time in seconds, *including* any wait the
+            request spent queued behind the device (busy bank, spin-up).
+        energy: joules consumed performing the operation.
+        wait: the queueing portion of ``latency`` (zero when the device
+            was idle).  Experiment E8 uses this to show reads stalling
+            behind flash erases.
+    """
+
+    latency: float
+    energy: float
+    wait: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0.0 or self.energy < 0.0 or self.wait < 0.0:
+            raise ValueError("AccessResult fields must be non-negative")
+        if self.wait > self.latency + 1e-15:
+            raise ValueError("wait cannot exceed total latency")
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative per-device accounting."""
+
+    reads: int = 0
+    writes: int = 0
+    erases: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time: float = 0.0
+    wait_time: float = 0.0
+    energy_joules: float = 0.0
+
+    def record_read(self, nbytes: int, result: AccessResult) -> None:
+        self.reads += 1
+        self.bytes_read += nbytes
+        self._record(result)
+
+    def record_write(self, nbytes: int, result: AccessResult) -> None:
+        self.writes += 1
+        self.bytes_written += nbytes
+        self._record(result)
+
+    def record_erase(self, result: AccessResult) -> None:
+        self.erases += 1
+        self._record(result)
+
+    def _record(self, result: AccessResult) -> None:
+        self.busy_time += result.latency - result.wait
+        self.wait_time += result.wait
+        self.energy_joules += result.energy
+
+    def snapshot(self) -> dict:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "erases": self.erases,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "busy_time_s": self.busy_time,
+            "wait_time_s": self.wait_time,
+            "energy_joules": self.energy_joules,
+        }
+
+
+@dataclass
+class _IdleTracker:
+    """Accrues idle-state energy between operations.
+
+    Devices draw power even when idle (DRAM refresh, disk spinning).  Each
+    device calls :meth:`accrue` with the current time before servicing an
+    operation; the tracker charges idle power for the elapsed gap.
+    """
+
+    idle_power_watts: float
+    last_time: float = 0.0
+    idle_energy: float = field(default=0.0)
+
+    def accrue(self, now: float) -> float:
+        if now < self.last_time:
+            # Out-of-order issue within the same timestamp resolution is
+            # tolerated; genuine regressions are caught by the clock.
+            return 0.0
+        delta = (now - self.last_time) * self.idle_power_watts
+        self.idle_energy += delta
+        self.last_time = now
+        return delta
+
+
+class StorageDevice(ABC):
+    """Abstract byte-addressable storage device."""
+
+    def __init__(self, name: str, capacity_bytes: int, idle_power_watts: float) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"{name}: capacity must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.stats = DeviceStats()
+        self._idle = _IdleTracker(idle_power_watts)
+
+    def check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.capacity_bytes:
+            raise OutOfRangeError(self.name, offset, nbytes, self.capacity_bytes)
+
+    def accrue_idle(self, now: float) -> None:
+        """Charge idle power up to ``now`` (called by the power model)."""
+        self._idle.accrue(now)
+
+    @property
+    def idle_energy_joules(self) -> float:
+        return self._idle.idle_energy
+
+    @property
+    def total_energy_joules(self) -> float:
+        """Active + idle energy since construction."""
+        return self.stats.energy_joules + self._idle.idle_energy
+
+    @abstractmethod
+    def read(self, offset: int, nbytes: int, now: float) -> "tuple[bytes, AccessResult]":
+        """Read ``nbytes`` at ``offset``; returns (data, result)."""
+
+    @abstractmethod
+    def write(self, offset: int, data: bytes, now: float) -> AccessResult:
+        """Write ``data`` at ``offset``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, capacity={self.capacity_bytes})"

@@ -1,0 +1,209 @@
+"""Small mobile magnetic disks (HP KittyHawk, Fujitsu M2633).
+
+The disk is the organization the paper argues *against*, so its model
+needs the two properties that drive the comparison:
+
+- **Mechanical positioning dominates small transfers** -- a seek curve
+  over cylinder distance plus (expected) half-rotation latency, so random
+  I/O costs tens of milliseconds regardless of size.
+- **Power management** -- mobile disks spin down after an idle timeout
+  and pay a spin-up penalty (latency *and* energy) on the next access.
+  This is why disk power does not simply read as "idle watts x time":
+  bursty workloads oscillate between standby and expensive spin-ups.
+
+Rotational latency uses its expected value (half a rotation) rather than
+a random draw, keeping device timing deterministic; distribution effects
+the experiments care about come from seek distances, which vary with the
+access pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.devices.base import AccessResult, StorageDevice
+from repro.devices.catalog import DISK_HP_KITTYHAWK, DeviceSpec
+
+
+class MagneticDisk(StorageDevice):
+    """Seek + rotate + transfer disk with idle spin-down."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        spec: DeviceSpec = DISK_HP_KITTYHAWK,
+        name: str = "disk",
+        cylinders: int = 600,
+        spin_down_timeout_s: float = 5.0,
+        start_spinning: bool = True,
+    ) -> None:
+        if spec.kind != "disk":
+            raise ValueError(f"spec {spec.name!r} is not a disk spec")
+        if cylinders < 2:
+            raise ValueError("disk needs at least 2 cylinders")
+        super().__init__(name, capacity_bytes, idle_power_watts=0.0)
+        self.spec = spec
+        self.cylinders = cylinders
+        self.bytes_per_cylinder = max(1, capacity_bytes // cylinders)
+        self.spin_down_timeout_s = spin_down_timeout_s
+        self.spinning = start_spinning
+        self.head_cylinder = 0
+        self.spin_ups = 0
+        self.seeks = 0
+        self.total_seek_time = 0.0
+        self._last_op_end = 0.0
+        self._idle_accounted_to = 0.0
+        self._rotation_s = 60.0 / float(spec.rpm or 3600)
+
+    # ------------------------------------------------------------------
+    # Mechanics.
+    # ------------------------------------------------------------------
+
+    def cylinder_of(self, offset: int) -> int:
+        return min(self.cylinders - 1, offset // self.bytes_per_cylinder)
+
+    def seek_time(self, from_cyl: int, to_cyl: int) -> float:
+        """Square-root seek curve through the data-sheet's t2t and max."""
+        distance = abs(to_cyl - from_cyl)
+        if distance == 0:
+            return 0.0
+        t2t = self.spec.track_to_track_seek_s or 0.0
+        max_seek = self.spec.max_seek_s or (self.spec.avg_seek_s or 0.0) * 2
+        frac = math.sqrt(distance / (self.cylinders - 1))
+        return t2t + (max_seek - t2t) * frac
+
+    def _rotational_latency(self) -> float:
+        return self._rotation_s / 2.0
+
+    def _transfer_time(self, nbytes: int) -> float:
+        rate = self.spec.transfer_bytes_per_s or 1.0
+        return nbytes / rate
+
+    # ------------------------------------------------------------------
+    # Idle power / spin state.
+    # ------------------------------------------------------------------
+
+    def _idle_power_at(self, when: float) -> float:
+        """Instantaneous idle power, given the spin-state timeline.
+
+        The drive spins (idle power) from the last operation until the
+        spin-down timeout elapses, then sits in standby.  An explicit
+        :meth:`spin_down` puts it in standby immediately.
+        """
+        if not self.spinning:
+            return self.spec.standby_power_w
+        if when < self._last_op_end + self.spin_down_timeout_s:
+            return self.spec.idle_power_w
+        return self.spec.standby_power_w
+
+    def accrue_idle(self, now: float) -> None:
+        """Charge idle/standby power from the last accounting point."""
+        start = self._idle_accounted_to
+        if now <= start:
+            return
+        energy = 0.0
+        if self.spinning:
+            spin_edge = self._last_op_end + self.spin_down_timeout_s
+            spinning_until = min(max(spin_edge, start), now)
+            energy += (spinning_until - start) * self.spec.idle_power_w
+            start = spinning_until
+        energy += (now - start) * self.spec.standby_power_w
+        self._idle.idle_energy += energy
+        self._idle_accounted_to = now
+
+    def _is_spun_down(self, now: float) -> bool:
+        return not self.spinning or now - self._last_op_end > self.spin_down_timeout_s
+
+    def _begin_op(self, now: float) -> Tuple[float, float]:
+        """Account idle energy and any spin-up; returns (delay, energy)."""
+        self.accrue_idle(now)
+        delay = 0.0
+        energy = 0.0
+        if self._is_spun_down(now):
+            self.spinning = True
+            self.spin_ups += 1
+            delay = self.spec.spin_up_s or 0.0
+            energy = delay * self.spec.spin_up_power_w
+        return delay, energy
+
+    # ------------------------------------------------------------------
+    # Operations.
+    # ------------------------------------------------------------------
+
+    def _access(self, offset: int, nbytes: int, now: float, write: bool) -> AccessResult:
+        spin_delay, spin_energy = self._begin_op(now)
+        target = self.cylinder_of(offset)
+        seek = self.seek_time(self.head_cylinder, target)
+        if seek > 0.0:
+            self.seeks += 1
+            self.total_seek_time += seek
+        self.head_cylinder = target
+        overhead = self.spec.write_overhead_s if write else self.spec.read_overhead_s
+        service = overhead + seek + self._rotational_latency() + self._transfer_time(nbytes)
+        power = self.spec.active_write_power_w if write else self.spec.active_read_power_w
+        self._last_op_end = now + spin_delay + service
+        # Time covered by the operation is active, not idle.
+        self._idle_accounted_to = max(self._idle_accounted_to, self._last_op_end)
+        return AccessResult(
+            latency=spin_delay + service,
+            energy=spin_energy + power * service,
+            wait=spin_delay,
+        )
+
+    def read(self, offset: int, nbytes: int, now: float) -> Tuple[bytes, AccessResult]:
+        self.check_range(offset, nbytes)
+        result = self._access(offset, nbytes, now, write=False)
+        self.stats.record_read(nbytes, result)
+        return bytes(self._data_view(offset, nbytes)), result
+
+    def write(self, offset: int, data: bytes, now: float) -> AccessResult:
+        self.check_range(offset, len(data))
+        result = self._access(offset, len(data), now, write=True)
+        self._store(offset, data)
+        self.stats.record_write(len(data), result)
+        return result
+
+    # Disks can be large; allocate backing store lazily per 64 KB chunk so
+    # a 120 MB baseline drive doesn't cost 120 MB of host RAM up front.
+    _CHUNK = 64 * 1024
+
+    def _ensure_chunks(self) -> dict:
+        if not hasattr(self, "_chunks"):
+            self._chunks: dict = {}
+        return self._chunks
+
+    def _data_view(self, offset: int, nbytes: int) -> bytes:
+        chunks = self._ensure_chunks()
+        out = bytearray(nbytes)
+        pos = 0
+        while pos < nbytes:
+            absolute = offset + pos
+            idx, within = divmod(absolute, self._CHUNK)
+            take = min(nbytes - pos, self._CHUNK - within)
+            chunk = chunks.get(idx)
+            if chunk is not None:
+                out[pos : pos + take] = chunk[within : within + take]
+            pos += take
+        return bytes(out)
+
+    def _store(self, offset: int, data: bytes) -> None:
+        chunks = self._ensure_chunks()
+        pos = 0
+        nbytes = len(data)
+        while pos < nbytes:
+            absolute = offset + pos
+            idx, within = divmod(absolute, self._CHUNK)
+            take = min(nbytes - pos, self._CHUNK - within)
+            chunk = chunks.get(idx)
+            if chunk is None:
+                chunk = bytearray(self._CHUNK)
+                chunks[idx] = chunk
+            chunk[within : within + take] = data[pos : pos + take]
+            pos += take
+
+    def spin_down(self, now: float) -> None:
+        """Explicit spin-down (OS-directed power management)."""
+        self.accrue_idle(now)
+        self._last_op_end = min(self._last_op_end, now)
+        self.spinning = False

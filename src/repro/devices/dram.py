@@ -1,0 +1,96 @@
+"""Battery-backed DRAM primary storage.
+
+DRAM in this model is what the paper assumes: uniform random-access
+read/write with symmetric latency, effectively unlimited endurance, and
+contents that survive exactly as long as some battery keeps refresh
+running.  The volatility is modelled explicitly -- :meth:`DRAM.power_loss`
+destroys contents, and the battery model decides when that is invoked --
+because the paper's central stability argument (Section 3.1) is about
+*when* battery-backed DRAM may safely hold the only copy of file data.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.devices.base import AccessResult, StorageDevice
+from repro.devices.catalog import MB, DRAM_NEC_LOW_POWER, DeviceSpec
+from repro.devices.errors import PowerLossError
+
+
+class DRAM(StorageDevice):
+    """A byte-addressable DRAM array."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        spec: DeviceSpec = DRAM_NEC_LOW_POWER,
+        name: str = "dram",
+        battery_backed: bool = True,
+    ) -> None:
+        if spec.kind != "dram":
+            raise ValueError(f"spec {spec.name!r} is not a DRAM spec")
+        super().__init__(
+            name,
+            capacity_bytes,
+            idle_power_watts=spec.idle_power_w_per_mb * (capacity_bytes / MB),
+        )
+        self.spec = spec
+        self.battery_backed = battery_backed
+        self.powered = True
+        self._data = bytearray(capacity_bytes)
+        # Number of times contents have been lost to power failure.
+        self.content_losses = 0
+
+    def _require_power(self) -> None:
+        if not self.powered:
+            raise PowerLossError(self.name, "DRAM is unpowered")
+
+    def _service(self, overhead: float, per_byte: float, nbytes: int, power: float) -> AccessResult:
+        latency = overhead + per_byte * nbytes
+        return AccessResult(latency=latency, energy=power * latency)
+
+    def read(self, offset: int, nbytes: int, now: float) -> Tuple[bytes, AccessResult]:
+        self._require_power()
+        self.check_range(offset, nbytes)
+        result = self._service(
+            self.spec.read_overhead_s,
+            self.spec.read_per_byte_s,
+            nbytes,
+            self.spec.active_read_power_w,
+        )
+        self.stats.record_read(nbytes, result)
+        return bytes(self._data[offset : offset + nbytes]), result
+
+    def write(self, offset: int, data: bytes, now: float) -> AccessResult:
+        self._require_power()
+        self.check_range(offset, len(data))
+        result = self._service(
+            self.spec.write_overhead_s,
+            self.spec.write_per_byte_s,
+            len(data),
+            self.spec.active_write_power_w,
+        )
+        self._data[offset : offset + len(data)] = data
+        self.stats.record_write(len(data), result)
+        return result
+
+    def power_loss(self) -> None:
+        """All refresh power is gone: contents are destroyed.
+
+        The battery model calls this when both primary and backup
+        batteries are exhausted (or on an injected abrupt failure).
+        """
+        self.powered = False
+        self.content_losses += 1
+        for i in range(len(self._data)):
+            self._data[i] = 0
+        # A fresh power-up starts with undefined (zeroed) contents.
+
+    def power_restore(self) -> None:
+        """Power returns; contents remain whatever power_loss left them."""
+        self.powered = True
+
+    def snapshot_bytes(self) -> bytes:
+        """Full contents (used by recovery tests, not by the simulation)."""
+        return bytes(self._data)

@@ -1,0 +1,64 @@
+"""Device-level exception types.
+
+These map one-to-one onto the physical failure modes the paper asks the
+operating system to hide: flash endurance exhaustion, the
+erase-before-write constraint, and power loss wiping volatile storage.
+"""
+
+from __future__ import annotations
+
+
+class DeviceError(Exception):
+    """Base class for all device failures."""
+
+
+class OutOfRangeError(DeviceError):
+    """An access touched addresses beyond the device's capacity."""
+
+    def __init__(self, device: str, offset: int, nbytes: int, capacity: int) -> None:
+        super().__init__(
+            f"{device}: access [{offset}, {offset + nbytes}) exceeds capacity {capacity}"
+        )
+        self.offset = offset
+        self.nbytes = nbytes
+        self.capacity = capacity
+
+
+class WriteBeforeEraseError(DeviceError):
+    """A flash program targeted bytes that were not in the erased state.
+
+    Real flash can only clear bits (1 -> 0); rewriting without an erase
+    silently corrupts data, so the model makes it a hard error.  The
+    storage manager's job (paper section 3.3) is to guarantee this never
+    fires in a correctly configured system.
+    """
+
+    def __init__(self, device: str, offset: int, nbytes: int) -> None:
+        super().__init__(
+            f"{device}: program of [{offset}, {offset + nbytes}) hit non-erased bytes"
+        )
+        self.offset = offset
+        self.nbytes = nbytes
+
+
+class WornOutError(DeviceError):
+    """A flash sector exceeded its guaranteed erase-cycle endurance."""
+
+    def __init__(self, device: str, sector: int, erase_count: int, endurance: int) -> None:
+        super().__init__(
+            f"{device}: sector {sector} worn out ({erase_count} erases, "
+            f"endurance {endurance})"
+        )
+        self.sector = sector
+        self.erase_count = erase_count
+        self.endurance = endurance
+
+
+class PowerLossError(DeviceError):
+    """An operation was attempted while the device had no power."""
+
+    def __init__(self, device: str, detail: str = "") -> None:
+        message = f"{device}: no power"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)

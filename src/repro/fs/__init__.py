@@ -1,0 +1,63 @@
+"""File systems.
+
+Three data-path organizations, one interface (:class:`~repro.fs.api.FileSystem`):
+
+- :mod:`repro.fs.memfs` -- the paper's **memory-resident file system**:
+  metadata lives in DRAM structures (no buffer cache, no indirect-block
+  chains), data blocks flow through the storage manager (DRAM write
+  buffer + log-structured flash).
+- :mod:`repro.fs.diskfs` -- the conventional baseline: a Unix-like
+  on-device layout (superblock, inode table with direct/indirect/
+  double-indirect pointers, allocation bitmap, directories in data
+  blocks) accessed through a write-back buffer cache, over any block
+  device.
+- :mod:`repro.fs.flashlog` -- a log-structured flash translation layer
+  exposing a block-device interface, so the conventional file system can
+  run on flash ("flash pretending to be a disk"), plus the naive
+  erase-in-place alternative.
+
+:mod:`repro.fs.blockdev` defines the block-device abstraction and the
+disk-backed implementation; :mod:`repro.fs.cache` the buffer cache.
+"""
+
+from repro.fs.api import (
+    FileExistsFSError,
+    FileNotFoundFSError,
+    FileStat,
+    FileSystem,
+    FSError,
+    InvalidPathError,
+    IsADirectoryFSError,
+    NotADirectoryFSError,
+    NotEmptyFSError,
+)
+from repro.fs.blockdev import BlockDevice, DiskBlockDevice
+from repro.fs.cache import BufferCache
+from repro.fs.diskfs import ConventionalFileSystem, mkfs
+from repro.fs.flashlog import EraseInPlaceFlashBlockDevice, LogStructuredFTL
+from repro.fs.fsck import FsckReport, fsck
+from repro.fs.memfs import MemFile, MemoryFileSystem, RecoveryReport
+
+__all__ = [
+    "FileSystem",
+    "FileStat",
+    "FSError",
+    "FileNotFoundFSError",
+    "FileExistsFSError",
+    "NotADirectoryFSError",
+    "IsADirectoryFSError",
+    "NotEmptyFSError",
+    "InvalidPathError",
+    "MemoryFileSystem",
+    "MemFile",
+    "BlockDevice",
+    "DiskBlockDevice",
+    "BufferCache",
+    "ConventionalFileSystem",
+    "mkfs",
+    "LogStructuredFTL",
+    "EraseInPlaceFlashBlockDevice",
+    "fsck",
+    "FsckReport",
+    "RecoveryReport",
+]

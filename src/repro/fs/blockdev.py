@@ -1,0 +1,72 @@
+"""Block-device abstraction for the conventional file system.
+
+The conventional FS is written against :class:`BlockDevice` so the same
+code runs over a magnetic disk, over naive erase-in-place flash, or over
+a log-structured FTL (see :mod:`repro.fs.flashlog`) -- the three
+secondary-storage organizations experiment E12 compares.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.devices.disk import MagneticDisk
+from repro.sim.clock import SimClock
+
+
+class BlockDevice(ABC):
+    """Fixed-size-block storage with timed access."""
+
+    def __init__(self, name: str, block_size: int, nblocks: int) -> None:
+        if block_size <= 0 or nblocks <= 0:
+            raise ValueError("block device needs positive geometry")
+        self.name = name
+        self.block_size = block_size
+        self.nblocks = nblocks
+
+    def check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self.nblocks:
+            raise ValueError(f"{self.name}: LBA {lba} outside [0, {self.nblocks})")
+
+    @abstractmethod
+    def read_block(self, lba: int) -> bytes:
+        """Read one block (advances the simulated clock)."""
+
+    @abstractmethod
+    def write_block(self, lba: int, data: bytes) -> None:
+        """Write one block (advances the simulated clock)."""
+
+
+class DiskBlockDevice(BlockDevice):
+    """A magnetic disk presented as an array of blocks."""
+
+    def __init__(
+        self,
+        disk: MagneticDisk,
+        clock: SimClock,
+        block_size: int = 4096,
+        nblocks: int = 0,
+    ) -> None:
+        """``nblocks`` limits the exported size (0 = whole disk), so a
+        swap partition can live past the file-system area."""
+        max_blocks = disk.capacity_bytes // block_size
+        if nblocks <= 0:
+            nblocks = max_blocks
+        if nblocks > max_blocks:
+            raise ValueError("exported blocks exceed disk capacity")
+        super().__init__(f"blk-{disk.name}", block_size, nblocks)
+        self.disk = disk
+        self.clock = clock
+
+    def read_block(self, lba: int) -> bytes:
+        self.check_lba(lba)
+        data, result = self.disk.read(lba * self.block_size, self.block_size, self.clock.now)
+        self.clock.advance(result.latency)
+        return data
+
+    def write_block(self, lba: int, data: bytes) -> None:
+        self.check_lba(lba)
+        if len(data) != self.block_size:
+            raise ValueError(f"block write must be exactly {self.block_size} bytes")
+        result = self.disk.write(lba * self.block_size, data, self.clock.now)
+        self.clock.advance(result.latency)

@@ -1,0 +1,161 @@
+"""The buffer cache the paper says the memory-resident FS can drop.
+
+Conventional file systems interpose a DRAM block cache between the FS
+and the device: reads hit the cache when lucky, writes are buffered
+dirty and pushed out by LRU eviction or the periodic ``sync`` (the
+classic 30-second update policy).  This is exactly the machinery the
+paper's Section 3.1 declares "unnecessary because all data and metadata
+always reside in fast storage" -- so the baseline needs it and the
+memory-resident FS must not have it (experiment E4 compares them).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.devices.dram import DRAM
+from repro.fs.blockdev import BlockDevice
+from repro.sim.clock import SimClock
+from repro.sim.engine import Engine
+from repro.sim.stats import StatRegistry
+
+
+class BufferCache:
+    """Write-back LRU block cache in (volatile) DRAM."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        clock: SimClock,
+        capacity_blocks: int,
+        dram: Optional[DRAM] = None,
+    ) -> None:
+        if capacity_blocks < 1:
+            raise ValueError("cache needs at least one block")
+        self.device = device
+        self.clock = clock
+        self.capacity_blocks = capacity_blocks
+        self.dram = dram
+        self.stats = StatRegistry("buffercache")
+        self._blocks: "OrderedDict[int, bytearray]" = OrderedDict()
+        self._dirty: Dict[int, bool] = {}
+        self._sync_timer = None
+
+    # ------------------------------------------------------------------
+    # DRAM charging for cache hits/installs.
+    # ------------------------------------------------------------------
+
+    def _charge_dram(self, nbytes: int, write: bool) -> None:
+        if self.dram is None:
+            return
+        if write:
+            result = self.dram.write(0, bytes(nbytes), self.clock.now)
+        else:
+            _, result = self.dram.read(0, nbytes, self.clock.now)
+        self.clock.advance(result.latency)
+
+    # ------------------------------------------------------------------
+    # Core cache operations.
+    # ------------------------------------------------------------------
+
+    def read(self, lba: int) -> bytes:
+        block = self._blocks.get(lba)
+        if block is not None:
+            self._blocks.move_to_end(lba)
+            self.stats.counter("hits").add(1)
+            self._charge_dram(self.device.block_size, write=False)
+            return bytes(block)
+        self.stats.counter("misses").add(1)
+        data = self.device.read_block(lba)  # timed device read
+        self._install(lba, bytearray(data), dirty=False)
+        return data
+
+    def write(self, lba: int, data: bytes) -> None:
+        if len(data) != self.device.block_size:
+            raise ValueError("cache writes whole blocks")
+        self.device.check_lba(lba)
+        self.stats.counter("writes").add(1)
+        self._charge_dram(len(data), write=True)
+        if lba in self._blocks:
+            self._blocks[lba][:] = data
+            self._blocks.move_to_end(lba)
+            self._dirty[lba] = True
+            return
+        self._install(lba, bytearray(data), dirty=True)
+
+    def _install(self, lba: int, block: bytearray, dirty: bool) -> None:
+        self._charge_dram(len(block), write=True)
+        self._blocks[lba] = block
+        self._dirty[lba] = dirty
+        while len(self._blocks) > self.capacity_blocks:
+            victim, vblock = self._blocks.popitem(last=False)
+            if self._dirty.pop(victim):
+                self.stats.counter("dirty_evictions").add(1)
+                self.device.write_block(victim, bytes(vblock))  # timed
+            else:
+                self.stats.counter("clean_evictions").add(1)
+
+    # ------------------------------------------------------------------
+    # Synchronization.
+    # ------------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Write back every dirty block; returns blocks written."""
+        written = 0
+        for lba in list(self._blocks):
+            if self._dirty.get(lba):
+                self.device.write_block(lba, bytes(self._blocks[lba]))
+                self._dirty[lba] = False
+                written += 1
+        self.stats.counter("sync_writebacks").add(written)
+        return written
+
+    def attach_sync_timer(self, engine: Engine, interval_s: float = 30.0) -> None:
+        """The classic periodic update daemon."""
+        if self._sync_timer is not None:
+            self._sync_timer.cancel()
+        self._sync_timer = engine.schedule_every(interval_s, self.flush, name="bcache-sync")
+
+    def discard(self, lba: int) -> None:
+        """Forget a block without writing it back (its owner freed it)."""
+        self._blocks.pop(lba, None)
+        self._dirty.pop(lba, None)
+
+    def drop_clean(self) -> None:
+        """Invalidate clean blocks (used by crash simulations)."""
+        for lba in list(self._blocks):
+            if not self._dirty.get(lba):
+                del self._blocks[lba]
+                del self._dirty[lba]
+
+    def crash(self) -> int:
+        """Volatile cache contents vanish; returns dirty blocks lost."""
+        lost = sum(1 for d in self._dirty.values() if d)
+        self._blocks.clear()
+        self._dirty.clear()
+        self.stats.counter("dirty_blocks_lost").add(lost)
+        return lost
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    @property
+    def dirty_blocks(self) -> int:
+        return sum(1 for d in self._dirty.values() if d)
+
+    def hit_ratio(self) -> float:
+        hits = self.stats.counter("hits").value
+        misses = self.stats.counter("misses").value
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "capacity_blocks": self.capacity_blocks,
+            "resident_blocks": len(self._blocks),
+            "dirty_blocks": self.dirty_blocks,
+            "hit_ratio": self.hit_ratio(),
+            "stats": self.stats.snapshot(self.clock.now),
+        }

@@ -1,0 +1,710 @@
+"""The conventional Unix-like file system (the paper's baseline).
+
+Everything the paper says a memory-resident FS can discard is present
+here, on purpose:
+
+- an **on-device layout** -- superblock, inode table, allocation bitmap,
+  data region -- every piece of metadata is a block that must be read
+  (and written back) through the buffer cache;
+- **indirect blocks** -- inodes hold 12 direct pointers, one single- and
+  one double-indirect pointer, so large-file access costs extra metadata
+  block reads;
+- **clustering** -- the allocator places a file's next block as close as
+  possible to its previous one, because on a disk, locality is seek
+  time;
+- a **write-back buffer cache** with the classic periodic sync.
+
+The FS is written against :class:`~repro.fs.blockdev.BlockDevice`, so it
+runs unchanged over the magnetic disk, over erase-in-place flash, or
+over the log-structured FTL -- the comparison experiment E12 needs all
+three.
+
+On-device format (block size 4096):
+
+====================  ===========================================
+block 0               superblock
+inode table           ``ninodes`` slots of 128 bytes (32 per block)
+allocation bitmap     1 bit per data block
+data region           everything else
+====================  ===========================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.fs.api import (
+    FileExistsFSError,
+    FileNotFoundFSError,
+    FileStat,
+    FileSystem,
+    FSError,
+    InvalidPathError,
+    IsADirectoryFSError,
+    NoSpaceFSError,
+    NotADirectoryFSError,
+    NotEmptyFSError,
+    parent_and_name,
+    split_path,
+)
+from repro.fs.cache import BufferCache
+from repro.sim.stats import StatRegistry
+
+BLOCK_SIZE = 4096
+MAGIC = b"SSMC1993"
+INODE_SIZE = 128
+INODES_PER_BLOCK = BLOCK_SIZE // INODE_SIZE
+NDIRECT = 12
+PTRS_PER_BLOCK = BLOCK_SIZE // 4
+DIRENT_SIZE = 64
+DIRENTS_PER_BLOCK = BLOCK_SIZE // DIRENT_SIZE
+MAX_NAME = DIRENT_SIZE - 5
+
+MODE_FREE = 0
+MODE_FILE = 1
+MODE_DIR = 2
+
+_SUPER = struct.Struct("<8sQIIIIII")
+_INODE = struct.Struct("<BBHQd12III")  # mode, pad, nlinks, size, mtime,
+# direct[12], indirect, dindirect -- 76 bytes, padded to 128 on write.
+_DIRENT = struct.Struct("<IB59s")
+
+ROOT_INO = 1
+
+
+@dataclass
+class Layout:
+    """Where each on-device structure lives."""
+
+    nblocks: int
+    ninodes: int
+    inode_start: int
+    inode_blocks: int
+    bitmap_start: int
+    bitmap_blocks: int
+    data_start: int
+
+    def pack(self) -> bytes:
+        raw = _SUPER.pack(
+            MAGIC,
+            self.nblocks,
+            self.ninodes,
+            self.inode_start,
+            self.inode_blocks,
+            self.bitmap_start,
+            self.bitmap_blocks,
+            self.data_start,
+        )
+        return raw + bytes(BLOCK_SIZE - len(raw))
+
+    @classmethod
+    def unpack(cls, block: bytes) -> "Layout":
+        magic, nblocks, ninodes, istart, iblocks, bstart, bblocks, dstart = _SUPER.unpack(
+            block[: _SUPER.size]
+        )
+        if magic != MAGIC:
+            raise FSError("bad superblock magic; device not formatted")
+        return cls(nblocks, ninodes, istart, iblocks, bstart, bblocks, dstart)
+
+
+@dataclass
+class DiskInode:
+    """Decoded inode contents."""
+
+    ino: int
+    mode: int
+    nlinks: int
+    size: int
+    mtime: float
+    direct: List[int]
+    indirect: int
+    dindirect: int
+
+    @property
+    def is_dir(self) -> bool:
+        return self.mode == MODE_DIR
+
+    def pack(self) -> bytes:
+        raw = _INODE.pack(
+            self.mode,
+            0,
+            self.nlinks,
+            self.size,
+            self.mtime,
+            *self.direct,
+            self.indirect,
+            self.dindirect,
+        )
+        return raw + bytes(INODE_SIZE - len(raw))
+
+    @classmethod
+    def unpack(cls, ino: int, raw: bytes) -> "DiskInode":
+        fields = _INODE.unpack(raw[: _INODE.size])
+        mode, _pad, nlinks, size, mtime = fields[:5]
+        direct = list(fields[5:17])
+        indirect, dindirect = fields[17], fields[18]
+        return cls(ino, mode, nlinks, size, mtime, direct, indirect, dindirect)
+
+
+def mkfs(cache: BufferCache, ninodes: int = 512) -> Layout:
+    """Format the device: superblock, empty inode table, bitmap, root dir."""
+    device = cache.device
+    if device.block_size != BLOCK_SIZE:
+        raise ValueError(f"diskfs requires {BLOCK_SIZE}-byte blocks")
+    nblocks = device.nblocks
+    inode_blocks = (ninodes + INODES_PER_BLOCK - 1) // INODES_PER_BLOCK
+    inode_start = 1
+    bitmap_start = inode_start + inode_blocks
+    # One bit per block in the whole device keeps the math simple; bits
+    # for metadata blocks are pre-marked used.
+    bitmap_blocks = (nblocks + BLOCK_SIZE * 8 - 1) // (BLOCK_SIZE * 8)
+    data_start = bitmap_start + bitmap_blocks
+    if data_start + 8 > nblocks:
+        raise ValueError("device too small for this inode count")
+    layout = Layout(
+        nblocks=nblocks,
+        ninodes=ninodes,
+        inode_start=inode_start,
+        inode_blocks=inode_blocks,
+        bitmap_start=bitmap_start,
+        bitmap_blocks=bitmap_blocks,
+        data_start=data_start,
+    )
+    cache.write(0, layout.pack())
+    zero = bytes(BLOCK_SIZE)
+    for b in range(inode_start, data_start):
+        cache.write(b, zero)
+    fs = ConventionalFileSystem(cache, layout)
+    for lba in range(data_start):
+        fs._bitmap_set(lba, True)
+    root = DiskInode(ROOT_INO, MODE_DIR, 1, 0, 0.0, [0] * NDIRECT, 0, 0)
+    fs._write_inode(root)
+    cache.flush()
+    return layout
+
+
+class ConventionalFileSystem(FileSystem):
+    """Unix-like FS over a buffer cache over a block device."""
+
+    def __init__(self, cache: BufferCache, layout: Optional[Layout] = None) -> None:
+        self.cache = cache
+        self.clock = cache.clock
+        self.stats = StatRegistry("diskfs")
+        if layout is None:
+            layout = Layout.unpack(cache.read(0))
+        self.layout = layout
+        self._alloc_hint = layout.data_start
+
+    # ------------------------------------------------------------------
+    # Timing wrapper.
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _timed(self, op: str) -> Iterator[None]:
+        start = self.clock.now
+        yield
+        self.stats.counter(f"{op}_ops").add(1)
+        self.stats.histogram(f"{op}_latency").record(self.clock.now - start)
+
+    # ------------------------------------------------------------------
+    # Inode table access.
+    # ------------------------------------------------------------------
+
+    def _inode_block(self, ino: int) -> Tuple[int, int]:
+        if not 1 <= ino <= self.layout.ninodes:
+            raise FSError(f"inode number {ino} out of range")
+        slot = ino - 1
+        return self.layout.inode_start + slot // INODES_PER_BLOCK, slot % INODES_PER_BLOCK
+
+    def _read_inode(self, ino: int) -> DiskInode:
+        lba, slot = self._inode_block(ino)
+        block = self.cache.read(lba)
+        return DiskInode.unpack(ino, block[slot * INODE_SIZE : (slot + 1) * INODE_SIZE])
+
+    def _write_inode(self, inode: DiskInode) -> None:
+        lba, slot = self._inode_block(inode.ino)
+        block = bytearray(self.cache.read(lba))
+        block[slot * INODE_SIZE : (slot + 1) * INODE_SIZE] = inode.pack()
+        self.cache.write(lba, bytes(block))
+
+    def _alloc_inode(self, mode: int) -> DiskInode:
+        for ino in range(1, self.layout.ninodes + 1):
+            inode = self._read_inode(ino)
+            if inode.mode == MODE_FREE:
+                fresh = DiskInode(ino, mode, 1, 0, self.clock.now, [0] * NDIRECT, 0, 0)
+                self._write_inode(fresh)
+                return fresh
+        raise NoSpaceFSError("out of inodes")
+
+    # ------------------------------------------------------------------
+    # Block bitmap.
+    # ------------------------------------------------------------------
+
+    def _bitmap_locate(self, lba: int) -> Tuple[int, int, int]:
+        bit = lba
+        block = self.layout.bitmap_start + bit // (BLOCK_SIZE * 8)
+        byte = (bit % (BLOCK_SIZE * 8)) // 8
+        return block, byte, bit % 8
+
+    def _bitmap_get(self, lba: int) -> bool:
+        block, byte, bit = self._bitmap_locate(lba)
+        return bool(self.cache.read(block)[byte] & (1 << bit))
+
+    def _bitmap_set(self, lba: int, used: bool) -> None:
+        block, byte, bit = self._bitmap_locate(lba)
+        raw = bytearray(self.cache.read(block))
+        if used:
+            raw[byte] |= 1 << bit
+        else:
+            raw[byte] &= ~(1 << bit)
+        self.cache.write(block, bytes(raw))
+
+    def _alloc_block(self, near: Optional[int] = None) -> int:
+        """First-fit data-block allocation, clustered near ``near``.
+
+        Clustering matters on the disk (seek locality) and is harmless
+        on the other block devices, matching how a 1993 FFS would have
+        been dropped onto a flash card unchanged.
+        """
+        start = near if near and near >= self.layout.data_start else self._alloc_hint
+        n = self.layout.nblocks
+        span = n - self.layout.data_start
+        for probe in range(span):
+            lba = self.layout.data_start + (start - self.layout.data_start + probe) % span
+            if not self._bitmap_get(lba):
+                self._bitmap_set(lba, True)
+                self._alloc_hint = lba + 1
+                # Fresh blocks must read as zeros regardless of what the
+                # raw device holds (flash reads 0xFF when erased).
+                self.cache.write(lba, bytes(BLOCK_SIZE))
+                return lba
+        raise NoSpaceFSError("out of data blocks")
+
+    def _free_block(self, lba: int) -> None:
+        if lba < self.layout.data_start:
+            raise FSError(f"freeing metadata block {lba}")
+        self._bitmap_set(lba, False)
+        # Dead data need not be written back, and an FTL can reclaim the
+        # block immediately (the TRIM command, avant la lettre).
+        self.cache.discard(lba)
+        trim = getattr(self.cache.device, "trim", None)
+        if trim is not None:
+            trim(lba)
+            self.stats.counter("blocks_trimmed").add(1)
+
+    # ------------------------------------------------------------------
+    # File block mapping (direct / indirect / double indirect).
+    # ------------------------------------------------------------------
+
+    def _max_blocks(self) -> int:
+        return NDIRECT + PTRS_PER_BLOCK + PTRS_PER_BLOCK * PTRS_PER_BLOCK
+
+    @staticmethod
+    def _ptr_get(block: bytes, index: int) -> int:
+        return struct.unpack_from("<I", block, index * 4)[0]
+
+    def _ptr_set(self, lba: int, index: int, value: int) -> None:
+        raw = bytearray(self.cache.read(lba))
+        struct.pack_into("<I", raw, index * 4, value)
+        self.cache.write(lba, bytes(raw))
+
+    def _bmap(self, inode: DiskInode, index: int, allocate: bool) -> int:
+        """Logical block index -> LBA (0 when absent and not allocating)."""
+        if index < 0 or index >= self._max_blocks():
+            raise FSError(f"file block index {index} beyond maximum file size")
+        if index < NDIRECT:
+            lba = inode.direct[index]
+            if lba == 0 and allocate:
+                near = inode.direct[index - 1] if index else None
+                lba = self._alloc_block(near)
+                inode.direct[index] = lba
+                self._write_inode(inode)
+            return lba
+
+        index -= NDIRECT
+        if index < PTRS_PER_BLOCK:
+            if inode.indirect == 0:
+                if not allocate:
+                    return 0
+                inode.indirect = self._alloc_block(inode.direct[-1] or None)
+                self.cache.write(inode.indirect, bytes(BLOCK_SIZE))
+                self._write_inode(inode)
+                self.stats.counter("indirect_blocks_allocated").add(1)
+            table = self.cache.read(inode.indirect)
+            self.stats.counter("indirect_block_reads").add(1)
+            lba = self._ptr_get(table, index)
+            if lba == 0 and allocate:
+                lba = self._alloc_block(inode.indirect)
+                self._ptr_set(inode.indirect, index, lba)
+            return lba
+
+        index -= PTRS_PER_BLOCK
+        outer_idx, inner_idx = divmod(index, PTRS_PER_BLOCK)
+        if inode.dindirect == 0:
+            if not allocate:
+                return 0
+            inode.dindirect = self._alloc_block(None)
+            self.cache.write(inode.dindirect, bytes(BLOCK_SIZE))
+            self._write_inode(inode)
+            self.stats.counter("indirect_blocks_allocated").add(1)
+        outer = self.cache.read(inode.dindirect)
+        self.stats.counter("indirect_block_reads").add(1)
+        inner_lba = self._ptr_get(outer, outer_idx)
+        if inner_lba == 0:
+            if not allocate:
+                return 0
+            inner_lba = self._alloc_block(inode.dindirect)
+            self.cache.write(inner_lba, bytes(BLOCK_SIZE))
+            self._ptr_set(inode.dindirect, outer_idx, inner_lba)
+            self.stats.counter("indirect_blocks_allocated").add(1)
+        inner = self.cache.read(inner_lba)
+        self.stats.counter("indirect_block_reads").add(1)
+        lba = self._ptr_get(inner, inner_idx)
+        if lba == 0 and allocate:
+            lba = self._alloc_block(inner_lba)
+            self._ptr_set(inner_lba, inner_idx, lba)
+        return lba
+
+    def _file_lbas(self, inode: DiskInode) -> Iterator[Tuple[str, int]]:
+        """Yield ('data'|'meta', lba) for every allocated block."""
+        for lba in inode.direct:
+            if lba:
+                yield "data", lba
+        if inode.indirect:
+            table = self.cache.read(inode.indirect)
+            for i in range(PTRS_PER_BLOCK):
+                lba = self._ptr_get(table, i)
+                if lba:
+                    yield "data", lba
+            yield "meta", inode.indirect
+        if inode.dindirect:
+            outer = self.cache.read(inode.dindirect)
+            for i in range(PTRS_PER_BLOCK):
+                inner_lba = self._ptr_get(outer, i)
+                if not inner_lba:
+                    continue
+                inner = self.cache.read(inner_lba)
+                for j in range(PTRS_PER_BLOCK):
+                    lba = self._ptr_get(inner, j)
+                    if lba:
+                        yield "data", lba
+                yield "meta", inner_lba
+            yield "meta", inode.dindirect
+
+    # ------------------------------------------------------------------
+    # Directories.
+    # ------------------------------------------------------------------
+
+    def _dir_entries(self, inode: DiskInode) -> Iterator[Tuple[int, int, str, int]]:
+        """Yield (block_index, slot, name, ino) for live entries."""
+        nblocks = (inode.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        for bi in range(nblocks):
+            lba = self._bmap(inode, bi, allocate=False)
+            if lba == 0:
+                continue
+            block = self.cache.read(lba)
+            for slot in range(DIRENTS_PER_BLOCK):
+                raw = block[slot * DIRENT_SIZE : (slot + 1) * DIRENT_SIZE]
+                ino, namelen, namebuf = _DIRENT.unpack(raw)
+                if ino:
+                    yield bi, slot, namebuf[:namelen].decode("utf-8"), ino
+
+    def _dir_lookup(self, inode: DiskInode, name: str) -> Optional[int]:
+        for _bi, _slot, entry_name, ino in self._dir_entries(inode):
+            if entry_name == name:
+                return ino
+        return None
+
+    def _dir_add(self, dir_inode: DiskInode, name: str, ino: int) -> None:
+        encoded = name.encode("utf-8")
+        if len(encoded) > MAX_NAME:
+            raise InvalidPathError(f"name too long: {name!r}")
+        entry = _DIRENT.pack(ino, len(encoded), encoded.ljust(59, b"\x00"))
+        nblocks = (dir_inode.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+        # Reuse a dead slot if one exists.
+        for bi in range(nblocks):
+            lba = self._bmap(dir_inode, bi, allocate=False)
+            if lba == 0:
+                continue
+            block = bytearray(self.cache.read(lba))
+            for slot in range(DIRENTS_PER_BLOCK):
+                off = slot * DIRENT_SIZE
+                if struct.unpack_from("<I", block, off)[0] == 0:
+                    in_use = bi * BLOCK_SIZE + (slot + 1) * DIRENT_SIZE
+                    if in_use > dir_inode.size:
+                        continue  # beyond current size; extend path below
+                    block[off : off + DIRENT_SIZE] = entry
+                    self.cache.write(lba, bytes(block))
+                    return
+        # Append at the end.
+        index, within = divmod(dir_inode.size, BLOCK_SIZE)
+        lba = self._bmap(dir_inode, index, allocate=True)
+        block = bytearray(self.cache.read(lba))
+        block[within : within + DIRENT_SIZE] = entry
+        self.cache.write(lba, bytes(block))
+        dir_inode.size += DIRENT_SIZE
+        dir_inode.mtime = self.clock.now
+        self._write_inode(dir_inode)
+
+    def _dir_remove(self, dir_inode: DiskInode, name: str) -> int:
+        for bi, slot, entry_name, ino in self._dir_entries(dir_inode):
+            if entry_name != name:
+                continue
+            lba = self._bmap(dir_inode, bi, allocate=False)
+            block = bytearray(self.cache.read(lba))
+            block[slot * DIRENT_SIZE : (slot + 1) * DIRENT_SIZE] = bytes(DIRENT_SIZE)
+            self.cache.write(lba, bytes(block))
+            return ino
+        raise FileNotFoundFSError(name)
+
+    def _dir_is_empty(self, inode: DiskInode) -> bool:
+        return next(iter(self._dir_entries(inode)), None) is None
+
+    # ------------------------------------------------------------------
+    # Path resolution.
+    # ------------------------------------------------------------------
+
+    def _resolve(self, parts: List[str]) -> DiskInode:
+        inode = self._read_inode(ROOT_INO)
+        for part in parts:
+            if not inode.is_dir:
+                raise NotADirectoryFSError("/" + "/".join(parts))
+            child = self._dir_lookup(inode, part)
+            if child is None:
+                raise FileNotFoundFSError("/" + "/".join(parts))
+            inode = self._read_inode(child)
+        return inode
+
+    def _resolve_parent(self, path: str) -> Tuple[DiskInode, str]:
+        parent_parts, name = parent_and_name(path)
+        parent = self._resolve(parent_parts)
+        if not parent.is_dir:
+            raise NotADirectoryFSError(path)
+        return parent, name
+
+    # ------------------------------------------------------------------
+    # FileSystem interface.
+    # ------------------------------------------------------------------
+
+    def create(self, path: str) -> None:
+        with self._timed("create"):
+            parent, name = self._resolve_parent(path)
+            if self._dir_lookup(parent, name) is not None:
+                raise FileExistsFSError(path)
+            inode = self._alloc_inode(MODE_FILE)
+            self._dir_add(parent, name, inode.ino)
+
+    def mkdir(self, path: str) -> None:
+        with self._timed("mkdir"):
+            parent, name = self._resolve_parent(path)
+            if self._dir_lookup(parent, name) is not None:
+                raise FileExistsFSError(path)
+            inode = self._alloc_inode(MODE_DIR)
+            self._dir_add(parent, name, inode.ino)
+
+    def rmdir(self, path: str) -> None:
+        with self._timed("rmdir"):
+            parent, name = self._resolve_parent(path)
+            ino = self._dir_lookup(parent, name)
+            if ino is None:
+                raise FileNotFoundFSError(path)
+            inode = self._read_inode(ino)
+            if not inode.is_dir:
+                raise NotADirectoryFSError(path)
+            if not self._dir_is_empty(inode):
+                raise NotEmptyFSError(path)
+            self._free_file_blocks(inode)
+            inode.mode = MODE_FREE
+            self._write_inode(inode)
+            self._dir_remove(parent, name)
+
+    def _free_file_blocks(self, inode: DiskInode) -> None:
+        for _kind, lba in list(self._file_lbas(inode)):
+            self._free_block(lba)
+        inode.direct = [0] * NDIRECT
+        inode.indirect = 0
+        inode.dindirect = 0
+        inode.size = 0
+
+    def delete(self, path: str) -> None:
+        with self._timed("delete"):
+            parent, name = self._resolve_parent(path)
+            ino = self._dir_lookup(parent, name)
+            if ino is None:
+                raise FileNotFoundFSError(path)
+            inode = self._read_inode(ino)
+            if inode.is_dir:
+                raise IsADirectoryFSError(path)
+            self._free_file_blocks(inode)
+            inode.mode = MODE_FREE
+            self._write_inode(inode)
+            self._dir_remove(parent, name)
+
+    def rename(self, old: str, new: str) -> None:
+        with self._timed("rename"):
+            old_parent, old_name = self._resolve_parent(old)
+            ino = self._dir_lookup(old_parent, old_name)
+            if ino is None:
+                raise FileNotFoundFSError(old)
+            new_parent, new_name = self._resolve_parent(new)
+            existing = self._dir_lookup(new_parent, new_name)
+            if existing is not None:
+                target = self._read_inode(existing)
+                if target.is_dir:
+                    raise IsADirectoryFSError(new)
+                self._free_file_blocks(target)
+                target.mode = MODE_FREE
+                self._write_inode(target)
+                self._dir_remove(new_parent, new_name)
+                # Re-read the parent inode in case both parents share
+                # blocks updated by the removal above.
+                new_parent = self._read_inode(new_parent.ino)
+            self._dir_remove(old_parent, old_name)
+            if new_parent.ino == old_parent.ino:
+                new_parent = self._read_inode(new_parent.ino)
+            self._dir_add(new_parent, new_name, ino)
+
+    def listdir(self, path: str) -> List[str]:
+        with self._timed("listdir"):
+            inode = self._resolve(split_path(path))
+            if not inode.is_dir:
+                raise NotADirectoryFSError(path)
+            return sorted(name for _b, _s, name, _i in self._dir_entries(inode))
+
+    def stat(self, path: str) -> FileStat:
+        with self._timed("stat"):
+            inode = self._resolve(split_path(path))
+            nblocks = sum(1 for kind, _ in self._file_lbas(inode) if kind == "data")
+            return FileStat(
+                path=path,
+                is_dir=inode.is_dir,
+                size=inode.size,
+                nblocks=nblocks,
+                mtime=inode.mtime,
+            )
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._resolve(split_path(path))
+            return True
+        except (FileNotFoundFSError, NotADirectoryFSError):
+            return False
+
+    def write(self, path: str, offset: int, data: bytes) -> int:
+        if offset < 0:
+            raise InvalidPathError("negative offset")
+        if not data:
+            return 0
+        with self._timed("write"):
+            inode = self._resolve(split_path(path))
+            if inode.is_dir:
+                raise IsADirectoryFSError(path)
+            pos = offset
+            view = memoryview(data)
+            while view.nbytes > 0:
+                index, within = divmod(pos, BLOCK_SIZE)
+                take = min(view.nbytes, BLOCK_SIZE - within)
+                lba = self._bmap(inode, index, allocate=True)
+                if within == 0 and take == BLOCK_SIZE:
+                    self.cache.write(lba, bytes(view[:take]))
+                else:
+                    block = bytearray(self.cache.read(lba))
+                    block[within : within + take] = view[:take]
+                    self.cache.write(lba, bytes(block))
+                pos += take
+                view = view[take:]
+            inode.size = max(inode.size, offset + len(data))
+            inode.mtime = self.clock.now
+            self._write_inode(inode)
+            self.stats.counter("bytes_written").add(len(data))
+            return len(data)
+
+    def read(self, path: str, offset: int, nbytes: int) -> bytes:
+        if offset < 0 or nbytes < 0:
+            raise InvalidPathError("negative read range")
+        with self._timed("read"):
+            inode = self._resolve(split_path(path))
+            if inode.is_dir:
+                raise IsADirectoryFSError(path)
+            if offset >= inode.size:
+                return b""
+            nbytes = min(nbytes, inode.size - offset)
+            out = bytearray()
+            pos = offset
+            remaining = nbytes
+            while remaining > 0:
+                index, within = divmod(pos, BLOCK_SIZE)
+                take = min(remaining, BLOCK_SIZE - within)
+                lba = self._bmap(inode, index, allocate=False)
+                if lba == 0:
+                    out += bytes(take)  # hole
+                else:
+                    out += self.cache.read(lba)[within : within + take]
+                pos += take
+                remaining -= take
+            self.stats.counter("bytes_read").add(len(out))
+            return bytes(out)
+
+    def truncate(self, path: str, size: int) -> None:
+        if size < 0:
+            raise InvalidPathError("negative truncate size")
+        with self._timed("truncate"):
+            inode = self._resolve(split_path(path))
+            if inode.is_dir:
+                raise IsADirectoryFSError(path)
+            if size < inode.size:
+                keep = (size + BLOCK_SIZE - 1) // BLOCK_SIZE
+                # Free whole blocks past the new end (direct only pass +
+                # indirect walk).
+                nblocks = (inode.size + BLOCK_SIZE - 1) // BLOCK_SIZE
+                for index in range(keep, nblocks):
+                    lba = self._bmap(inode, index, allocate=False)
+                    if lba:
+                        self._free_block(lba)
+                        self._clear_mapping(inode, index)
+                if size % BLOCK_SIZE:
+                    index = size // BLOCK_SIZE
+                    lba = self._bmap(inode, index, allocate=False)
+                    if lba:
+                        block = bytearray(self.cache.read(lba))
+                        block[size % BLOCK_SIZE :] = bytes(BLOCK_SIZE - size % BLOCK_SIZE)
+                        self.cache.write(lba, bytes(block))
+            inode.size = size
+            inode.mtime = self.clock.now
+            self._write_inode(inode)
+
+    def _clear_mapping(self, inode: DiskInode, index: int) -> None:
+        if index < NDIRECT:
+            inode.direct[index] = 0
+            self._write_inode(inode)
+            return
+        index -= NDIRECT
+        if index < PTRS_PER_BLOCK:
+            if inode.indirect:
+                self._ptr_set(inode.indirect, index, 0)
+            return
+        index -= PTRS_PER_BLOCK
+        outer_idx, inner_idx = divmod(index, PTRS_PER_BLOCK)
+        if inode.dindirect:
+            outer = self.cache.read(inode.dindirect)
+            inner_lba = self._ptr_get(outer, outer_idx)
+            if inner_lba:
+                self._ptr_set(inner_lba, inner_idx, 0)
+
+    def sync(self) -> None:
+        with self._timed("sync"):
+            self.cache.flush()
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "layout": self.layout.__dict__,
+            "cache": self.cache.snapshot(),
+            "stats": self.stats.snapshot(self.clock.now),
+        }

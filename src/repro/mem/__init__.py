@@ -1,0 +1,58 @@
+"""Memory system: single-level store, paging, VM, XIP, and mmap/COW.
+
+The paper's Section 3 premise is that "all storage will offer uniform,
+random-access read times through a single-level 64-bit address space".
+This package provides:
+
+- :mod:`repro.mem.address` -- the single-level physical address space
+  mapping regions onto DRAM and flash devices.
+- :mod:`repro.mem.paging` -- page tables, permissions, and the DRAM page
+  frame allocator ("a list of free DRAM pages").
+- :mod:`repro.mem.vm` -- per-process address spaces used for *protection*
+  rather than capacity (Section 3.2), with demand paging and replacement
+  for the conventional configurations.
+- :mod:`repro.mem.swap` -- swap backends (disk and flash) for the
+  paging-pressure experiment (E7).
+- :mod:`repro.mem.xip` -- execute-in-place from flash vs load-to-DRAM
+  (Section 3.2, experiment E6).
+- :mod:`repro.mem.mmap` -- memory-mapped flash files with copy-on-write
+  (Section 3.1, experiment E5).
+"""
+
+from repro.mem.address import PhysicalAddressSpace, Region
+from repro.mem.mmap import CopyOnWriteMapping, MmapManager
+from repro.mem.paging import (
+    PAGE_SIZE,
+    PageFrameAllocator,
+    PageTable,
+    PageTableEntry,
+    Permissions,
+)
+from repro.mem.swap import FlashSwap, RawDiskSwap, SwapBackend
+from repro.mem.tlb import TLB
+from repro.mem.vm import AddressSpace, PageFaultError, ProtectionError, VirtualMemory
+from repro.mem.xip import ProgramImage, ProgramStore, launch_load, launch_xip
+
+__all__ = [
+    "PhysicalAddressSpace",
+    "Region",
+    "PAGE_SIZE",
+    "Permissions",
+    "PageTable",
+    "PageTableEntry",
+    "PageFrameAllocator",
+    "VirtualMemory",
+    "AddressSpace",
+    "PageFaultError",
+    "ProtectionError",
+    "SwapBackend",
+    "TLB",
+    "RawDiskSwap",
+    "FlashSwap",
+    "ProgramStore",
+    "ProgramImage",
+    "launch_xip",
+    "launch_load",
+    "MmapManager",
+    "CopyOnWriteMapping",
+]

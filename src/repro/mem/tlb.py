@@ -1,0 +1,75 @@
+"""A translation lookaside buffer.
+
+The single-level store makes *every* data access a translated memory
+access, so translation cost is part of the organization's performance
+story.  The model is a classic fully-associative LRU TLB: hits are free
+(folded into the device access), misses charge a page-table walk --
+which in this machine is a couple of DRAM touches.
+
+The TLB must be kept coherent by the VM: entries are flushed when a
+page is unmapped, evicted, or remapped by copy-on-write.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.sim.stats import StatRegistry
+
+#: Cost of a page-table walk on a miss (two DRAM-speed levels).
+DEFAULT_WALK_S = 400e-9
+
+
+class TLB:
+    """Fully associative, LRU, tagged by (asid, vpn)."""
+
+    def __init__(self, entries: int = 32, walk_s: float = DEFAULT_WALK_S) -> None:
+        if entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        if walk_s < 0:
+            raise ValueError("walk cost cannot be negative")
+        self.entries = entries
+        self.walk_s = walk_s
+        self.stats = StatRegistry("tlb")
+        self._map: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+
+    def lookup(self, asid: int, vpn: int) -> Tuple[Optional[int], float]:
+        """Return (cached physical address or None, latency to charge)."""
+        key = (asid, vpn)
+        phys = self._map.get(key)
+        if phys is not None:
+            self._map.move_to_end(key)
+            self.stats.counter("hits").add(1)
+            return phys, 0.0
+        self.stats.counter("misses").add(1)
+        return None, self.walk_s
+
+    def insert(self, asid: int, vpn: int, phys_addr: int) -> None:
+        key = (asid, vpn)
+        self._map[key] = phys_addr
+        self._map.move_to_end(key)
+        while len(self._map) > self.entries:
+            self._map.popitem(last=False)
+            self.stats.counter("evictions").add(1)
+
+    def invalidate(self, asid: int, vpn: int) -> None:
+        self._map.pop((asid, vpn), None)
+
+    def flush_asid(self, asid: int) -> None:
+        """Drop every entry of one address space (context destroy)."""
+        stale = [k for k in self._map if k[0] == asid]
+        for key in stale:
+            del self._map[key]
+
+    def flush(self) -> None:
+        self._map.clear()
+
+    def hit_ratio(self) -> float:
+        hits = self.stats.counter("hits").value
+        misses = self.stats.counter("misses").value
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._map)

@@ -1,0 +1,9 @@
+"""Energy accounting.
+
+Connects the per-device energy meters to the battery bank so experiments
+can report battery life and inject power failures at meaningful times.
+"""
+
+from repro.power.energy import EnergyBreakdown, PowerModel
+
+__all__ = ["PowerModel", "EnergyBreakdown"]

@@ -1,0 +1,98 @@
+"""System power model.
+
+Each storage device meters its own active energy (charged per operation)
+and idle energy (charged by :meth:`accrue_idle`).  The :class:`PowerModel`
+periodically *settles*: it brings every device's idle meter up to date,
+computes the energy drawn since the last settlement, and drains the
+battery bank by that amount.  Settling happens on a timer (via the event
+engine) and at experiment end, so battery state is accurate at every
+observation point without per-operation overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.devices.base import StorageDevice
+from repro.devices.battery import BatteryBank
+from repro.sim.engine import Engine
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per device, split into active and idle."""
+
+    active: Dict[str, float] = field(default_factory=dict)
+    idle: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.active.values()) + sum(self.idle.values())
+
+    def snapshot(self) -> dict:
+        return {
+            "active_joules": dict(self.active),
+            "idle_joules": dict(self.idle),
+            "total_joules": self.total,
+        }
+
+
+class PowerModel:
+    """Meters a set of devices and drains a battery bank."""
+
+    def __init__(
+        self,
+        devices: List[StorageDevice],
+        battery: Optional[BatteryBank] = None,
+        base_load_watts: float = 0.0,
+    ) -> None:
+        """``base_load_watts`` models the rest of the machine (CPU, LCD)
+        as a constant draw, so storage choices shift battery life from a
+        realistic baseline rather than from zero."""
+        self.devices = list(devices)
+        self.battery = battery
+        self.base_load_watts = base_load_watts
+        self._settled_energy: Dict[str, float] = {d.name: 0.0 for d in self.devices}
+        self._last_settle_time = 0.0
+
+    def add_device(self, device: StorageDevice) -> None:
+        self.devices.append(device)
+        self._settled_energy.setdefault(device.name, 0.0)
+
+    def settle(self, now: float) -> float:
+        """Charge all energy consumed up to ``now``; returns joules drawn."""
+        drawn = 0.0
+        for device in self.devices:
+            device.accrue_idle(now)
+            total = device.total_energy_joules
+            delta = total - self._settled_energy[device.name]
+            if delta > 0:
+                drawn += delta
+                self._settled_energy[device.name] = total
+        if now > self._last_settle_time:
+            drawn += self.base_load_watts * (now - self._last_settle_time)
+            self._last_settle_time = now
+        if self.battery is not None and drawn > 0:
+            self.battery.draw(drawn, now)
+        return drawn
+
+    def attach_timer(self, engine: Engine, interval_s: float = 1.0):
+        """Settle periodically so battery state tracks simulated time."""
+        return engine.schedule_every(
+            interval_s, lambda: self.settle(engine.clock.now), name="power-settle"
+        )
+
+    def breakdown(self, now: float) -> EnergyBreakdown:
+        out = EnergyBreakdown()
+        for device in self.devices:
+            device.accrue_idle(now)
+            out.active[device.name] = device.stats.energy_joules
+            out.idle[device.name] = device.idle_energy_joules
+        return out
+
+    def average_power_watts(self, now: float) -> float:
+        """Mean storage-subsystem power over the run so far."""
+        if now <= 0:
+            return 0.0
+        return self.breakdown(now).total / now

@@ -1,0 +1,158 @@
+"""Discrete-event engine.
+
+Most storage operations in this reproduction are *synchronous*: the caller
+asks a device for an operation, the device computes its service latency,
+and the clock advances.  A handful of behaviours are genuinely
+*asynchronous* -- periodic write-buffer flushes, battery discharge ticks,
+background garbage collection, injected battery failures -- and those are
+modelled as events on this engine.
+
+The engine owns a :class:`~repro.sim.clock.SimClock` and a heap-ordered
+queue of :class:`Event` records.  Callers either run the queue to
+exhaustion (:meth:`Engine.run`) or pump all events due up to a timestamp
+(:meth:`Engine.run_until`), which is what trace replay does between
+records.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(when, seq)``; the sequence number makes ordering
+    stable and deterministic when several events share a timestamp.
+    """
+
+    when: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when it surfaces."""
+        self.cancelled = True
+
+
+class Engine:
+    """Heap-ordered discrete-event loop over a shared :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._events_run = 0
+
+    @property
+    def events_run(self) -> int:
+        """Total number of events executed so far (for tests/diagnostics)."""
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, not-yet-cancelled events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule_at(self, when: float, action: Callable[[], None], name: str = "") -> Event:
+        """Schedule ``action`` to run at absolute time ``when``."""
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event {name!r} at {when} before now ({self.clock.now})"
+            )
+        event = Event(when=when, seq=next(self._seq), action=action, name=name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(self, delay: float, action: Callable[[], None], name: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise ValueError(f"cannot schedule event {name!r} with negative delay {delay}")
+        return self.schedule_at(self.clock.now + delay, action, name=name)
+
+    def schedule_every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        name: str = "",
+        first_delay: Optional[float] = None,
+    ) -> Event:
+        """Schedule ``action`` to repeat every ``interval`` seconds.
+
+        Returns the *first* event; cancelling it stops the whole series
+        (each firing checks the original event's cancelled flag before
+        rescheduling, so cancellation propagates).
+        """
+        if interval <= 0.0:
+            raise ValueError("repeat interval must be positive")
+        root = Event(
+            when=self.clock.now + (interval if first_delay is None else first_delay),
+            seq=next(self._seq),
+            action=lambda: None,
+            name=name,
+        )
+
+        def fire() -> None:
+            if root.cancelled:
+                return
+            action()
+            if not root.cancelled:
+                self.schedule(interval, fire, name=name)
+
+        root.action = fire
+        heapq.heappush(self._queue, root)
+        return root
+
+    def _pop_due(self, horizon: float) -> Optional[Event]:
+        while self._queue and self._queue[0].when <= horizon:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def run_until(self, when: float) -> int:
+        """Execute every event due at or before ``when``; advance the clock.
+
+        The clock lands exactly on ``when`` afterwards (or stays put if
+        ``when`` is in the past).  Returns the number of events executed.
+        """
+        ran = 0
+        while True:
+            event = self._pop_due(when)
+            if event is None:
+                break
+            self.clock.advance_to(event.when)
+            event.action()
+            self._events_run += 1
+            ran += 1
+        self.clock.advance_to(when)
+        return ran
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        ran = 0
+        while self._queue:
+            if ran >= max_events:
+                raise RuntimeError(f"engine exceeded {max_events} events; runaway timer?")
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.action()
+            self._events_run += 1
+            ran += 1
+        return ran
+
+    def cancel_all(self) -> None:
+        """Cancel every pending event (used when tearing a machine down)."""
+        for event in self._queue:
+            event.cancelled = True
+        self._queue.clear()

@@ -1,0 +1,225 @@
+"""Measurement toolkit.
+
+Every experiment metric in the reproduction flows through one of three
+primitives:
+
+- :class:`Counter` -- monotonically increasing totals (bytes written,
+  erase operations, page faults).
+- :class:`Histogram` -- value distributions with mean / percentiles
+  (operation latency, read tail during erases -- claim E8).
+- :class:`TimeWeightedValue` -- time-integrated averages (buffer
+  occupancy, DRAM in use).
+
+A :class:`StatRegistry` groups the primitives belonging to one component
+and renders them into plain dictionaries for reports, so benchmark
+harnesses never reach into component internals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def add(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A value distribution that keeps raw samples.
+
+    Experiments here run at most a few hundred thousand operations, so
+    keeping raw samples (instead of fixed buckets) is affordable and gives
+    exact percentiles.  ``max_samples`` guards against pathological runs by
+    switching to reservoir-free decimation: once full, every second sample
+    is dropped and the stride doubles, preserving distribution shape.
+    """
+
+    def __init__(self, name: str, max_samples: int = 250_000) -> None:
+        self.name = name
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+        self._stride = 1
+        self._pending = 0
+        self.count = 0
+        self.total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def record(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self._samples.append(value)
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Exact (nearest-rank, interpolated) percentile of retained samples."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def stdev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mean = sum(self._samples) / len(self._samples)
+        var = sum((s - mean) ** 2 for s in self._samples) / (len(self._samples) - 1)
+        return math.sqrt(var)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._stride = 1
+        self._pending = 0
+        self.count = 0
+        self.total = 0.0
+        self._min = None
+        self._max = None
+
+
+class TimeWeightedValue:
+    """Integrates a piecewise-constant value over simulated time.
+
+    Call :meth:`set` whenever the tracked quantity changes; the average is
+    the time integral divided by elapsed observation time.  Used for
+    write-buffer occupancy so that a buffer that is full for one brief
+    instant doesn't read as "full on average".
+    """
+
+    def __init__(self, name: str, start_time: float = 0.0, initial: float = 0.0) -> None:
+        self.name = name
+        self._last_time = start_time
+        self._value = float(initial)
+        self._area = 0.0
+        self._start = start_time
+        self.peak = float(initial)
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+    def set(self, value: Number, now: float) -> None:
+        if now < self._last_time:
+            raise ValueError(f"time went backwards in {self.name!r}: {now} < {self._last_time}")
+        self._area += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = float(value)
+        if self._value > self.peak:
+            self.peak = self._value
+
+    def add(self, delta: Number, now: float) -> None:
+        self.set(self._value + float(delta), now)
+
+    def average(self, now: Optional[float] = None) -> float:
+        end = self._last_time if now is None else max(now, self._last_time)
+        elapsed = end - self._start
+        if elapsed <= 0.0:
+            return self._value
+        area = self._area + self._value * (end - self._last_time)
+        return area / elapsed
+
+
+class StatRegistry:
+    """A named bundle of metrics owned by one component."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.gauges: Dict[str, TimeWeightedValue] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def gauge(self, name: str, start_time: float = 0.0, initial: float = 0.0) -> TimeWeightedValue:
+        if name not in self.gauges:
+            self.gauges[name] = TimeWeightedValue(name, start_time, initial)
+        return self.gauges[name]
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, object]:
+        """Render every metric into a plain, JSON-able dictionary."""
+        return {
+            "name": self.name,
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "histograms": {n: h.summary() for n, h in sorted(self.histograms.items())},
+            "gauges": {
+                n: {"average": g.average(now), "peak": g.peak, "current": g.current}
+                for n, g in sorted(self.gauges.items())
+            },
+        }
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+        for histogram in self.histograms.values():
+            histogram.reset()
+        self.gauges.clear()

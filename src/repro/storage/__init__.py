@@ -1,0 +1,52 @@
+"""The physical storage manager (paper Section 3.3).
+
+This package implements the layer the paper sketches between the file
+system / VM and the raw devices:
+
+- :mod:`repro.storage.allocator` -- flash sector accounting and free
+  lists ("a list of free flash memory sectors").
+- :mod:`repro.storage.wear` -- wear-leveling policies (none / dynamic /
+  static) that "evenly balance the write load throughout flash memory".
+- :mod:`repro.storage.gc` -- garbage-collection policies "like those used
+  in log-structured file systems" (greedy and LFS cost-benefit).
+- :mod:`repro.storage.banks` -- partitioning flash into read-mostly and
+  write banks so reads stay fast during slow erase/write cycles.
+- :mod:`repro.storage.flashstore` -- the log-structured block store that
+  ties allocation, cleaning, wear and banks together and hides
+  erase-before-write behind out-of-place updates.
+- :mod:`repro.storage.writebuffer` -- the battery-backed DRAM write
+  buffer that absorbs overwrites and short-lived data (claim E3).
+- :mod:`repro.storage.migration` -- hot/cold tracking that keeps
+  frequently written data in DRAM and read-mostly data in flash.
+- :mod:`repro.storage.manager` -- the :class:`StorageManager` facade the
+  file system talks to.
+"""
+
+from repro.storage.allocator import Location, OutOfFlashSpace, SectorAllocator, SectorState
+from repro.storage.banks import BankPartition
+from repro.storage.compression import BlockCompressor, CompressionSpec
+from repro.storage.flashstore import FlashStore, StoreMode
+from repro.storage.gc import CleaningPolicy
+from repro.storage.manager import StorageManager
+from repro.storage.migration import HotColdTracker, Temperature
+from repro.storage.wear import WearPolicy
+from repro.storage.writebuffer import FlushReason, WriteBuffer
+
+__all__ = [
+    "Location",
+    "SectorAllocator",
+    "SectorState",
+    "OutOfFlashSpace",
+    "BankPartition",
+    "BlockCompressor",
+    "CompressionSpec",
+    "FlashStore",
+    "StoreMode",
+    "CleaningPolicy",
+    "WearPolicy",
+    "WriteBuffer",
+    "FlushReason",
+    "HotColdTracker",
+    "Temperature",
+    "StorageManager",
+]

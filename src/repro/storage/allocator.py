@@ -1,0 +1,303 @@
+"""Flash sector accounting and free lists.
+
+The allocator owns the *state machine* of every erase sector:
+
+``ERASED`` --open--> ``OPEN`` --seal--> ``SEALED`` --erase--> ``ERASED``
+
+Blocks are appended into the open sector of a pool (bump-pointer
+allocation); overwriting a logical block marks its old location *dead*.
+Sealed sectors with dead bytes are garbage-collection victims; erasing a
+sector returns it to a per-bank free list.  The allocator is pure
+bookkeeping -- it never touches the flash device -- which makes its
+invariants easy to test exhaustively:
+
+- a byte is live in at most one location,
+- ``live + dead + unwritten == sector size`` for every sector,
+- erased sectors hold no blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.devices.flash import FlashMemory
+
+
+class OutOfFlashSpace(Exception):
+    """Live data exceeds what cleaning can recover."""
+
+
+class SectorState(enum.Enum):
+    ERASED = "erased"
+    OPEN = "open"
+    SEALED = "sealed"
+
+
+@dataclass(frozen=True)
+class Location:
+    """A block's physical placement: sector plus byte range within it."""
+
+    sector: int
+    offset: int  # sector-relative
+    length: int
+
+    def absolute(self, sector_bytes: int) -> int:
+        return self.sector * sector_bytes + self.offset
+
+
+@dataclass
+class SectorInfo:
+    """Bookkeeping for one erase sector."""
+
+    index: int
+    bank: int
+    state: SectorState = SectorState.ERASED
+    write_ptr: int = 0
+    live_bytes: int = 0
+    dead_bytes: int = 0
+    seal_time: float = 0.0
+    summary_entries: int = 0  # self-describing log entries at the tail
+    # offset -> (key, length) for every live block in this sector.
+    blocks: Dict[int, Tuple[Hashable, int]] = field(default_factory=dict)
+
+    def free_bytes(self, sector_bytes: int) -> int:
+        return sector_bytes - self.write_ptr
+
+    def utilization(self, sector_bytes: int) -> float:
+        return self.live_bytes / sector_bytes if sector_bytes else 0.0
+
+
+class SectorAllocator:
+    """Tracks sector states, free lists, and live/dead byte accounting.
+
+    When ``summary_entry_bytes`` is non-zero, every appended block also
+    reserves one summary slot at the *tail* of its sector (the
+    self-describing log format :mod:`repro.storage.flashstore` uses for
+    crash recovery); the slot is charged to the block's live bytes and
+    becomes dead together with it.
+    """
+
+    def __init__(self, flash: FlashMemory, summary_entry_bytes: int = 0) -> None:
+        self.flash = flash
+        self.sector_bytes = flash.sector_bytes
+        self.summary_entry_bytes = summary_entry_bytes
+        self.sectors: List[SectorInfo] = [
+            SectorInfo(index=i, bank=flash.bank_of_sector(i)) for i in range(flash.num_sectors)
+        ]
+        # Per-bank stacks of erased sectors (initially every sector,
+        # assuming a factory-fresh device; manager re-derives after
+        # recovery).  Ordered ascending so "none" wear policy behaves
+        # like a naive first-fit allocator.
+        self.free_by_bank: Dict[int, List[int]] = {b: [] for b in range(flash.num_banks)}
+        for info in self.sectors:
+            self.free_by_bank[info.bank].append(info.index)
+        self.total_live_bytes = 0
+        self.total_dead_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def info(self, sector: int) -> SectorInfo:
+        return self.sectors[sector]
+
+    def free_sector_count(self, banks: Optional[List[int]] = None) -> int:
+        if banks is None:
+            return sum(len(v) for v in self.free_by_bank.values())
+        return sum(len(self.free_by_bank[b]) for b in banks)
+
+    def erased_sectors(self, banks: List[int]) -> List[int]:
+        out: List[int] = []
+        for bank in banks:
+            out.extend(self.free_by_bank[bank])
+        return out
+
+    def sealed_victims(self, banks: Optional[List[int]] = None) -> List[SectorInfo]:
+        """Sealed sectors (GC candidates), optionally limited to banks."""
+        return [
+            s
+            for s in self.sectors
+            if s.state is SectorState.SEALED and (banks is None or s.bank in banks)
+        ]
+
+    def capacity_bytes(self) -> int:
+        return self.sector_bytes * len(self.sectors)
+
+    # ------------------------------------------------------------------
+    # State transitions.
+    # ------------------------------------------------------------------
+
+    def take_erased(self, sector: int) -> SectorInfo:
+        """Move an erased sector into the OPEN state."""
+        info = self.sectors[sector]
+        if info.state is not SectorState.ERASED:
+            raise ValueError(f"sector {sector} is {info.state}, not erased")
+        self.free_by_bank[info.bank].remove(sector)
+        info.state = SectorState.OPEN
+        info.write_ptr = 0
+        info.live_bytes = 0
+        info.dead_bytes = 0
+        info.blocks = {}
+        return info
+
+    def fits(self, sector: int, length: int, align: int = 1) -> bool:
+        """Whether a block (plus its summary slot) fits the open sector."""
+        info = self.sectors[sector]
+        pad = (-info.write_ptr) % align
+        reserved = info.summary_entries + (1 if self.summary_entry_bytes else 0)
+        tail = reserved * self.summary_entry_bytes
+        return info.write_ptr + pad + length <= self.sector_bytes - tail
+
+    def summary_slot_offset(self, sector: int, entry: int) -> int:
+        """Sector-relative offset of summary slot ``entry`` (0 = last bytes)."""
+        if not self.summary_entry_bytes:
+            raise ValueError("allocator has no summary area")
+        return self.sector_bytes - (entry + 1) * self.summary_entry_bytes
+
+    def append(self, sector: int, key: Hashable, length: int, align: int = 1) -> Location:
+        """Bump-pointer allocate ``length`` bytes in an open sector.
+
+        ``align`` pads the payload to the given alignment (page-aligned
+        blocks stay directly mappable); padding is dead space.  With a
+        summary area configured, one tail slot is reserved per block and
+        charged to its live bytes.
+        """
+        info = self.sectors[sector]
+        if info.state is not SectorState.OPEN:
+            raise ValueError(f"append to sector {sector} in state {info.state}")
+        if length <= 0:
+            raise ValueError("block length must be positive")
+        if align < 1:
+            raise ValueError("alignment must be >= 1")
+        if not self.fits(sector, length, align):
+            raise ValueError(
+                f"sector {sector} overflow: ptr={info.write_ptr} len={length} "
+                f"align={align} cap={self.sector_bytes} "
+                f"summaries={info.summary_entries}"
+            )
+        pad = (-info.write_ptr) % align
+        if pad:
+            info.dead_bytes += pad
+            self.total_dead_bytes += pad
+            info.write_ptr += pad
+        loc = Location(sector=sector, offset=info.write_ptr, length=length)
+        info.blocks[loc.offset] = (key, length)
+        info.write_ptr += length
+        charged = length + self.summary_entry_bytes
+        info.live_bytes += charged
+        info.summary_entries += 1 if self.summary_entry_bytes else 0
+        self.total_live_bytes += charged
+        return loc
+
+    def seal(self, sector: int, now: float) -> None:
+        info = self.sectors[sector]
+        if info.state is not SectorState.OPEN:
+            raise ValueError(f"seal of sector {sector} in state {info.state}")
+        info.state = SectorState.SEALED
+        info.seal_time = now
+        # Space between the write pointer and the summary area is
+        # unreachable until erase; count it dead so cleaning policies
+        # see the true reclaimable total.
+        summary_area = info.summary_entries * self.summary_entry_bytes
+        slack = self.sector_bytes - info.write_ptr - summary_area
+        if slack:
+            info.dead_bytes += slack
+            self.total_dead_bytes += slack
+            info.write_ptr += slack
+
+    def invalidate(self, loc: Location) -> Hashable:
+        """Mark a previously appended block dead; returns its key."""
+        info = self.sectors[loc.sector]
+        entry = info.blocks.pop(loc.offset, None)
+        if entry is None:
+            raise ValueError(f"no live block at {loc}")
+        key, length = entry
+        if length != loc.length:
+            raise ValueError(f"length mismatch at {loc}: recorded {length}")
+        charged = length + self.summary_entry_bytes
+        info.live_bytes -= charged
+        info.dead_bytes += charged
+        self.total_live_bytes -= charged
+        self.total_dead_bytes += charged
+        return key
+
+    def adopt(
+        self,
+        sector: int,
+        live_blocks: List[Tuple[int, Hashable, int]],
+        summary_entries: int,
+        now: float,
+    ) -> None:
+        """Rebuild one sector's state from a crash-recovery scan.
+
+        The sector is adopted as SEALED: ``live_blocks`` is the list of
+        (offset, key, payload length) winners found in its summary area,
+        ``summary_entries`` the total entries present (live + stale).
+        Everything not live is dead and reclaimable by the cleaner.
+        """
+        info = self.sectors[sector]
+        if info.state is not SectorState.ERASED:
+            raise ValueError(f"adopt of sector {sector} in state {info.state}")
+        self.free_by_bank[info.bank].remove(sector)
+        info.state = SectorState.SEALED
+        info.seal_time = now
+        info.write_ptr = self.sector_bytes
+        info.summary_entries = summary_entries
+        info.blocks = {offset: (key, length) for offset, key, length in live_blocks}
+        live = sum(length for _, _, length in live_blocks)
+        live += len(live_blocks) * self.summary_entry_bytes
+        if live > self.sector_bytes:
+            raise ValueError(f"sector {sector}: recovered live bytes exceed capacity")
+        info.live_bytes = live
+        info.dead_bytes = self.sector_bytes - live
+        self.total_live_bytes += live
+        self.total_dead_bytes += info.dead_bytes
+
+    def mark_erased(self, sector: int) -> None:
+        """Record that the device erased ``sector``; back to the free list."""
+        info = self.sectors[sector]
+        if info.state is SectorState.ERASED:
+            raise ValueError(f"sector {sector} already erased")
+        if info.live_bytes:
+            raise ValueError(f"erasing sector {sector} with {info.live_bytes} live bytes")
+        self.total_dead_bytes -= info.dead_bytes
+        info.state = SectorState.ERASED
+        info.write_ptr = 0
+        info.dead_bytes = 0
+        info.summary_entries = 0
+        info.blocks = {}
+        self.free_by_bank[info.bank].append(sector)
+
+    # ------------------------------------------------------------------
+    # Invariant checking (used by property tests).
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        live = dead = 0
+        for info in self.sectors:
+            block_bytes = sum(length for _, length in info.blocks.values())
+            expected_live = block_bytes + len(info.blocks) * self.summary_entry_bytes
+            if expected_live != info.live_bytes:
+                raise AssertionError(f"sector {info.index}: block map != live_bytes")
+            if info.state is SectorState.ERASED:
+                if info.blocks or info.dead_bytes or info.write_ptr:
+                    raise AssertionError(f"erased sector {info.index} not clean")
+                if info.index not in self.free_by_bank[info.bank]:
+                    raise AssertionError(f"erased sector {info.index} missing from free list")
+            if info.live_bytes + info.dead_bytes > self.sector_bytes:
+                raise AssertionError(f"sector {info.index} over-committed")
+            live += info.live_bytes
+            dead += info.dead_bytes
+        if live != self.total_live_bytes or dead != self.total_dead_bytes:
+            raise AssertionError("global live/dead totals out of sync")
+
+    def occupancy(self) -> dict:
+        return {
+            "live_bytes": self.total_live_bytes,
+            "dead_bytes": self.total_dead_bytes,
+            "capacity_bytes": self.capacity_bytes(),
+            "free_sectors": self.free_sector_count(),
+            "utilization": self.total_live_bytes / self.capacity_bytes(),
+        }

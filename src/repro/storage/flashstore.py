@@ -1,0 +1,592 @@
+"""Log-structured flash block store.
+
+This is where the paper's flash drawbacks get hidden.  The store offers
+a simple keyed-block API -- ``write_block`` / ``read_block`` /
+``delete_block`` -- and internally:
+
+- performs **out-of-place updates** (``StoreMode.LOGGING``) so callers
+  never wait for an erase on the write path until space runs out;
+- runs the **cleaner** (:mod:`repro.storage.gc`) when erased sectors run
+  low, relocating live blocks and erasing victims;
+- applies a **wear policy** (:mod:`repro.storage.wear`) when opening
+  sectors, including static rotation of cold data;
+- respects a **bank partition** (:mod:`repro.storage.banks`) so hot data
+  churns in the write pool while read-mostly data sits in quiet banks.
+
+``StoreMode.IN_PLACE`` is the deliberately naive baseline the paper
+implies one must *not* build: every logical block lives at a fixed flash
+location and each overwrite is a read-modify-erase-program of the whole
+sector.  Experiments E9/E12 use it to show what logging + wear leveling
+buys.
+
+The store advances a shared :class:`~repro.sim.clock.SimClock` by every
+device operation it performs, so cleaning costs land on the writes that
+triggered them -- the latency spikes are part of the phenomenon.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.devices.flash import FlashMemory
+from repro.sim.clock import SimClock
+from repro.sim.stats import StatRegistry
+from repro.storage.allocator import Location, OutOfFlashSpace, SectorAllocator, SectorState
+from repro.storage.banks import BankPartition
+from repro.storage.gc import CleaningPolicy, CleaningStats, choose_victim
+from repro.storage.wear import WearPolicy, choose_erased_sector, static_rotation_victim
+
+
+class StoreMode(enum.Enum):
+    LOGGING = "logging"
+    IN_PLACE = "in_place"
+
+
+#: Payloads of exactly this size are kept aligned so their flash pages
+#: can be mapped directly into address spaces (see repro.mem.mmap).
+PAGE_ALIGN = 4096
+
+#: Self-describing log summary entry, written at the tail of each sector
+#: for every appended block (LFS segment-summary style).  Crash recovery
+#: rebuilds the whole index by scanning these.
+SUMMARY_BYTES = 64
+_SUMMARY_MAGIC = 0x5EC7
+_SUMMARY = struct.Struct("<HBQIIB")  # magic, kind, seq, offset, length, keylen
+_KIND_DATA = 1
+_MAX_KEY_BYTES = SUMMARY_BYTES - _SUMMARY.size
+
+
+def encode_key(key: Hashable) -> bytes:
+    """Serialize a block key (tuple of scalars, or a scalar) to JSON."""
+    if isinstance(key, tuple):
+        raw = json.dumps(list(key), separators=(",", ":")).encode("utf-8")
+    else:
+        raw = json.dumps(key, separators=(",", ":")).encode("utf-8")
+    if len(raw) > _MAX_KEY_BYTES:
+        raise ValueError(f"block key too large to log: {key!r}")
+    return raw
+
+
+def decode_key(raw: bytes) -> Hashable:
+    value = json.loads(raw.decode("utf-8"))
+    return tuple(value) if isinstance(value, list) else value
+
+
+def pack_summary(kind: int, seq: int, offset: int, length: int, key: Hashable) -> bytes:
+    raw_key = encode_key(key)
+    head = _SUMMARY.pack(_SUMMARY_MAGIC, kind, seq, offset, length, len(raw_key))
+    entry = head + raw_key
+    return entry + b"\xff" * (SUMMARY_BYTES - len(entry))
+
+
+def unpack_summary(entry: bytes) -> Optional[Tuple[int, int, int, int, Hashable]]:
+    """Parse one summary slot; None if it was never programmed/is torn."""
+    magic, kind, seq, offset, length, keylen = _SUMMARY.unpack(entry[: _SUMMARY.size])
+    if magic != _SUMMARY_MAGIC or keylen > _MAX_KEY_BYTES:
+        return None
+    try:
+        key = decode_key(entry[_SUMMARY.size : _SUMMARY.size + keylen])
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return kind, seq, offset, length, key
+
+
+class FlashStore:
+    """Keyed block store over a :class:`FlashMemory` device."""
+
+    def __init__(
+        self,
+        flash: FlashMemory,
+        clock: SimClock,
+        mode: StoreMode = StoreMode.LOGGING,
+        cleaning: CleaningPolicy = CleaningPolicy.COST_BENEFIT,
+        wear: WearPolicy = WearPolicy.DYNAMIC,
+        partition: Optional[BankPartition] = None,
+        free_target_sectors: int = 4,
+        wear_gap_threshold: int = 16,
+        in_place_slot_bytes: int = 4096,
+        self_describing: bool = True,
+    ) -> None:
+        """``self_describing`` (logging mode) writes an LFS-style summary
+        entry per block at the sector tail, making the log recoverable
+        after total power loss (see :meth:`recover`); it costs
+        ``SUMMARY_BYTES`` of flash per block."""
+        self.flash = flash
+        self.clock = clock
+        self.mode = mode
+        self.cleaning = cleaning
+        self.wear = wear
+        self.partition = partition or BankPartition.unpartitioned(flash)
+        self.free_target_sectors = max(2, free_target_sectors)
+        self.wear_gap_threshold = wear_gap_threshold
+        self.self_describing = self_describing and mode is StoreMode.LOGGING
+        if self.self_describing and flash.sector_bytes < PAGE_ALIGN + 2 * SUMMARY_BYTES:
+            raise ValueError(
+                "self-describing log needs erase sectors larger than "
+                f"{PAGE_ALIGN + 2 * SUMMARY_BYTES} bytes (got {flash.sector_bytes})"
+            )
+        self.allocator = SectorAllocator(
+            flash, SUMMARY_BYTES if self.self_describing else 0
+        )
+        self._seq = 0
+        self.cleaning_stats = CleaningStats()
+        self.stats = StatRegistry("flashstore")
+        self._index: Dict[Hashable, Location] = {}
+        # Pool name -> currently open sector (logging mode).
+        self._open: Dict[str, Optional[int]] = {"write": None, "read_mostly": None}
+        # In-place mode: key -> (sector, slot).
+        if in_place_slot_bytes > flash.sector_bytes:
+            raise ValueError("in-place slot larger than erase sector")
+        self.in_place_slot_bytes = in_place_slot_bytes
+        self._slots_per_sector = flash.sector_bytes // in_place_slot_bytes
+        self._slot_of: Dict[Hashable, Tuple[int, int]] = {}
+        self._in_place_lengths: Dict[Hashable, int] = {}
+        self._next_slot: Tuple[int, int] = (0, 0)
+        # Callbacks (key, old_loc, new_loc) fired when cleaning moves a
+        # block; mmap uses this to retarget page tables (paper 3.1).
+        self.relocation_listeners: List = []
+
+    # ------------------------------------------------------------------
+    # Helpers.
+    # ------------------------------------------------------------------
+
+    def _pool_name(self, hot: bool) -> str:
+        if not self.partition.partitioned:
+            return "write"
+        return "write" if hot else "read_mostly"
+
+    def _pool_banks(self, pool: str) -> List[int]:
+        if pool == "write" or not self.partition.partitioned:
+            return self.partition.write_pool
+        return self.partition.read_mostly_pool
+
+    def _do_read(self, offset: int, nbytes: int) -> bytes:
+        data, result = self.flash.read(offset, nbytes, self.clock.now)
+        self.clock.advance(result.latency)
+        self.stats.histogram("read_latency").record(result.latency)
+        if result.wait > 0:
+            self.stats.counter("reads_stalled").add(1)
+            self.stats.histogram("read_stall").record(result.wait)
+        return data
+
+    def _do_program(self, offset: int, data: bytes) -> None:
+        result = self.flash.program(offset, data, self.clock.now)
+        self.clock.advance(result.latency)
+
+    def _do_erase(self, sector: int) -> None:
+        result = self.flash.erase_sector(sector, self.clock.now)
+        self.clock.advance(result.latency)
+        self.stats.counter("erases").add(1)
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def contains(self, key: Hashable) -> bool:
+        if self.mode is StoreMode.IN_PLACE:
+            return key in self._in_place_lengths
+        return key in self._index
+
+    def location_of(self, key: Hashable) -> Location:
+        """Current physical placement of a block (logging mode only)."""
+        if self.mode is StoreMode.IN_PLACE:
+            raise NotImplementedError("in-place store has fixed slots")
+        return self._index[key]
+
+    def block_length(self, key: Hashable) -> int:
+        if self.mode is StoreMode.IN_PLACE:
+            raise NotImplementedError("in-place store keeps fixed-size slots")
+        return self._index[key].length
+
+    def keys(self) -> List[Hashable]:
+        if self.mode is StoreMode.IN_PLACE:
+            return list(self._in_place_lengths)
+        return list(self._index)
+
+    def write_block(self, key: Hashable, data: bytes, hot: bool = True) -> None:
+        """Store ``data`` under ``key``, replacing any previous version."""
+        if not data:
+            raise ValueError("cannot store an empty block")
+        max_payload = self.flash.sector_bytes
+        if self.self_describing:
+            max_payload -= SUMMARY_BYTES
+        if len(data) > max_payload:
+            raise ValueError(
+                f"block of {len(data)} bytes exceeds what an erase sector "
+                f"holds ({max_payload}); chunk it"
+            )
+        self.stats.counter("user_bytes_written").add(len(data))
+        if self.mode is StoreMode.IN_PLACE:
+            self._write_in_place(key, data)
+        else:
+            self._write_logging(key, data, hot)
+
+    def read_block(self, key: Hashable) -> bytes:
+        if self.mode is StoreMode.IN_PLACE:
+            if key not in self._in_place_lengths:
+                raise KeyError(key)
+            sector, slot = self._slot_of[key]
+            base = sector * self.flash.sector_bytes + slot * self.in_place_slot_bytes
+            length = self._in_place_lengths[key]
+            return self._do_read(base, length)
+        loc = self._index[key]
+        return self._do_read(loc.absolute(self.allocator.sector_bytes), loc.length)
+
+    def delete_block(self, key: Hashable) -> None:
+        if self.mode is StoreMode.IN_PLACE:
+            # The naive store's logical-to-physical binding is permanent:
+            # the slot stays reserved for this key (a rewrite reuses it
+            # with the usual erase), only the liveness marker goes away.
+            if key not in self._in_place_lengths:
+                raise KeyError(key)
+            del self._in_place_lengths[key]
+            return
+        loc = self._index.pop(key)
+        self.allocator.invalidate(loc)
+
+    # ------------------------------------------------------------------
+    # Logging mode.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _align_for(data_len: int) -> int:
+        """Page-size payloads stay page aligned (direct-mappable)."""
+        return PAGE_ALIGN if data_len % PAGE_ALIGN == 0 else 1
+
+    def _append_and_program(self, sector: int, key: Hashable, data: bytes) -> Location:
+        """Append a block: payload, then its tail summary entry."""
+        loc = self.allocator.append(sector, key, len(data), align=self._align_for(len(data)))
+        self._do_program(loc.absolute(self.allocator.sector_bytes), data)
+        if self.self_describing:
+            info = self.allocator.info(sector)
+            slot = self.allocator.summary_slot_offset(sector, info.summary_entries - 1)
+            entry = pack_summary(_KIND_DATA, self._seq, loc.offset, loc.length, key)
+            self._seq += 1
+            self._do_program(sector * self.allocator.sector_bytes + slot, entry)
+        return loc
+
+    def _write_logging(self, key: Hashable, data: bytes, hot: bool) -> None:
+        pool = self._pool_name(hot)
+        sector = self._ensure_open_sector(pool, len(data))
+        # Look the old location up *after* ensuring space: cleaning may
+        # have relocated this very key while making room.
+        old = self._index.get(key)
+        loc = self._append_and_program(sector, key, data)
+        self._index[key] = loc
+        if old is not None:
+            self.allocator.invalidate(old)
+        self._maybe_static_rotate(pool)
+
+    def _ensure_open_sector(self, pool: str, length: int) -> int:
+        open_sector = self._open.get(pool)
+        if open_sector is not None:
+            if self.allocator.fits(open_sector, length, self._align_for(length)):
+                return open_sector
+            self.allocator.seal(open_sector, self.clock.now)
+            self._open[pool] = None
+        self._reclaim_if_low(pool)
+        sector = self._take_erased(pool)
+        self._open[pool] = sector
+        return sector
+
+    @property
+    def gc_reserve_sectors(self) -> int:
+        """Erased sectors reserved for the cleaner.
+
+        User writes may never consume the last ones, or the cleaner
+        could find itself with live data to relocate and nowhere to put
+        it (the classic LFS deadlock).  Tiny test devices get a reserve
+        of one; real geometries get two.
+        """
+        return 2 if self.flash.num_sectors >= 16 else 1
+
+    def _take_erased(self, pool: str) -> int:
+        banks = self._pool_banks(pool)
+        free_everywhere = self.allocator.free_sector_count()
+        if free_everywhere <= self.gc_reserve_sectors:
+            # Try to claw space back before touching the reserve.
+            self.cleaning_stats.forced_cleanings += 1
+            cleaned = 0
+            while (
+                self.allocator.free_sector_count() <= self.gc_reserve_sectors
+                and cleaned < 8
+            ):
+                if not self._clean_one(pool):
+                    break
+                cleaned += 1
+            if self.allocator.free_sector_count() <= self.gc_reserve_sectors:
+                raise OutOfFlashSpace(
+                    f"pool {pool!r}: device effectively full "
+                    f"(live={self.allocator.total_live_bytes} bytes, "
+                    f"reserve={self.gc_reserve_sectors} sectors held for cleaning)"
+                )
+        sector = choose_erased_sector(self.allocator, banks, self.wear)
+        if sector is None:
+            # Forced cleaning: recover space synchronously on the write path.
+            self.cleaning_stats.forced_cleanings += 1
+            if not self._clean_one(pool):
+                raise OutOfFlashSpace(
+                    f"pool {pool!r}: no erased sectors and nothing to clean"
+                )
+            sector = choose_erased_sector(self.allocator, banks, self.wear)
+            if sector is None:
+                raise OutOfFlashSpace(f"pool {pool!r}: cleaning recovered no sector")
+        self.allocator.take_erased(sector)
+        return sector
+
+    def _reclaim_if_low(self, pool: str) -> None:
+        banks = self._pool_banks(pool)
+        cleaned = 0
+        while (
+            self.allocator.free_sector_count(banks) < self.free_target_sectors
+            and cleaned < 2 * self.free_target_sectors
+        ):
+            if not self._clean_one(pool):
+                break
+            cleaned += 1
+
+    def _clean_one(self, pool: str) -> bool:
+        """Clean one victim sector in ``pool``; True if one was cleaned."""
+        banks = self._pool_banks(pool)
+        exclude = {s for s in self._open.values() if s is not None}
+        # Emergency mode: when only the reserve is left, forward progress
+        # matters more than policy -- greedy (most dead bytes) maximizes
+        # the space each precious erase recovers.  Above the reserve the
+        # configured policy runs untouched (the normal operating band is
+        # free_target > reserve).
+        policy = self.cleaning
+        if self.allocator.free_sector_count() <= self.gc_reserve_sectors:
+            policy = CleaningPolicy.GREEDY
+        victim = choose_victim(self.allocator, policy, self.clock.now, banks, exclude)
+        if victim is None and banks != self.partition.all_banks():
+            # Nothing cleanable in this pool: look device-wide before
+            # giving up (the other pool's garbage is still garbage).
+            victim = choose_victim(
+                self.allocator, policy, self.clock.now, None, exclude
+            )
+        if victim is None:
+            return False
+        self._relocate_and_erase(victim, pool)
+        return True
+
+    def _relocate_and_erase(self, victim: int, pool: str) -> None:
+        info = self.allocator.info(victim)
+        live = sorted(info.blocks.items())  # (offset, (key, length))
+        reclaimed = info.dead_bytes
+        for offset, (key, length) in live:
+            absolute = victim * self.allocator.sector_bytes + offset
+            data = self._do_read(absolute, length)
+            dest = self._ensure_open_sector_for_gc(pool, length, forbidden=victim)
+            new_loc = self._append_and_program(dest, key, data)
+            old_loc = Location(victim, offset, length)
+            self.allocator.invalidate(old_loc)
+            self._index[key] = new_loc
+            self.cleaning_stats.live_bytes_copied += length
+            self.stats.counter("gc_bytes_copied").add(length)
+            for listener in self.relocation_listeners:
+                listener(key, old_loc, new_loc)
+        self._do_erase(victim)
+        self.allocator.mark_erased(victim)
+        self.cleaning_stats.sectors_cleaned += 1
+        self.cleaning_stats.dead_bytes_reclaimed += reclaimed
+
+    def _ensure_open_sector_for_gc(self, pool: str, length: int, forbidden: int) -> int:
+        """Open-sector logic for the cleaner itself.
+
+        Must not recurse into cleaning (we are mid-clean) and must not
+        pick the victim being cleaned.
+        """
+        open_sector = self._open.get(pool)
+        if open_sector is not None and open_sector != forbidden:
+            if self.allocator.fits(open_sector, length, self._align_for(length)):
+                return open_sector
+            self.allocator.seal(open_sector, self.clock.now)
+            self._open[pool] = None
+        banks = self._pool_banks(pool)
+        candidates = [s for s in self.allocator.erased_sectors(banks) if s != forbidden]
+        if not candidates:
+            # Fall back to any erased sector on the device: relocating
+            # across the partition beats failing the cleaner.
+            candidates = [
+                s
+                for s in self.allocator.erased_sectors(self.partition.all_banks())
+                if s != forbidden
+            ]
+        if not candidates:
+            raise OutOfFlashSpace("cleaner found no erased sector for live data")
+        if self.wear is WearPolicy.NONE:
+            sector = min(candidates)
+        else:
+            sector = min(
+                candidates, key=lambda s: (self.flash.sector_erase_count(s), s)
+            )
+        self.allocator.take_erased(sector)
+        self._open[pool] = sector
+        return sector
+
+    def _maybe_static_rotate(self, pool: str) -> None:
+        if self.wear is not WearPolicy.STATIC:
+            return
+        banks = self._pool_banks(pool)
+        victim = static_rotation_victim(self.allocator, banks, self.wear_gap_threshold)
+        if victim is not None and victim not in {
+            s for s in self._open.values() if s is not None
+        }:
+            self.stats.counter("static_rotations").add(1)
+            self._relocate_and_erase(victim, pool)
+
+    # ------------------------------------------------------------------
+    # In-place (naive) mode.
+    # ------------------------------------------------------------------
+
+    def _write_in_place(self, key: Hashable, data: bytes) -> None:
+        if len(data) > self.in_place_slot_bytes:
+            raise ValueError(
+                f"in-place block of {len(data)} bytes exceeds slot "
+                f"({self.in_place_slot_bytes})"
+            )
+        placement = self._slot_of.get(key)
+        if placement is None:
+            placement = self._assign_slot(key)
+            self._slot_of[key] = placement
+            sector, slot = placement
+            base = sector * self.flash.sector_bytes + slot * self.in_place_slot_bytes
+            self._do_program(base, data)
+            self._in_place_lengths[key] = len(data)
+            return
+        if key not in self._in_place_lengths:
+            # Re-creating a deleted key: its slot still holds stale bits,
+            # so this is an overwrite of the whole sector like any other.
+            self._in_place_lengths[key] = 0
+        # Overwrite: read-modify-erase-program the whole sector.
+        sector, slot = placement
+        sector_base = sector * self.flash.sector_bytes
+        survivors: List[Tuple[int, bytes]] = []
+        for other_key, (other_sector, other_slot) in self._slot_of.items():
+            if other_sector != sector or other_key == key:
+                continue
+            if other_key not in self._in_place_lengths:
+                continue  # deleted neighbour: nothing live to preserve
+            off = other_slot * self.in_place_slot_bytes
+            survivors.append(
+                (off, self._do_read(sector_base + off, self._in_place_lengths[other_key]))
+            )
+        self._do_erase(sector)
+        for off, blob in survivors:
+            self._do_program(sector_base + off, blob)
+        self._do_program(sector_base + slot * self.in_place_slot_bytes, data)
+        self._in_place_lengths[key] = len(data)
+        self.stats.counter("in_place_rewrites").add(1)
+
+    def _assign_slot(self, key: Hashable) -> Tuple[int, int]:
+        sector, slot = self._next_slot
+        if sector >= self.flash.num_sectors:
+            raise OutOfFlashSpace("in-place store is full")
+        nxt = (sector, slot + 1)
+        if nxt[1] >= self._slots_per_sector:
+            nxt = (sector + 1, 0)
+        self._next_slot = nxt
+        return (sector, slot)
+
+    # ------------------------------------------------------------------
+    # Crash recovery (the "flash is the durable repository" guarantee).
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        flash: FlashMemory,
+        clock: SimClock,
+        **store_kwargs,
+    ) -> "FlashStore":
+        """Rebuild a store by scanning the device's summary areas.
+
+        This is LFS-style recovery: the in-DRAM index and allocator
+        state died with the power, but every block left a summary entry
+        at its sector's tail.  The scan reads each occupied sector's
+        summary area (timed -- recovery latency is real), resolves
+        duplicate keys by sequence number (newest wins), and adopts the
+        sectors into a fresh allocator.  Deleted-but-unreclaimed blocks
+        may resurrect; layers with authoritative metadata (the
+        memory-resident FS checkpoint) prune them afterwards.
+        """
+        store_kwargs.setdefault("self_describing", True)
+        store = cls(flash, clock, **store_kwargs)
+        if not store.self_describing:
+            raise ValueError("recovery requires a self-describing store")
+        sector_bytes = store.allocator.sector_bytes
+
+        # Pass 1: collect every summary entry on the device.
+        per_sector: Dict[int, List[Tuple[int, int, int, Hashable]]] = {}
+        winners: Dict[Hashable, Tuple[int, Location]] = {}
+        for sector in range(flash.num_sectors):
+            if flash.sector_programmed_bytes(sector) == 0:
+                continue  # genuinely erased: stays on the free list
+            entries = store._scan_sector_summaries(sector)
+            per_sector[sector] = entries
+            for seq, offset, length, key in entries:
+                loc = Location(sector, offset, length)
+                best = winners.get(key)
+                if best is None or seq > best[0]:
+                    winners[key] = (seq, loc)
+
+        # Pass 2: adopt occupied sectors with their winning blocks.
+        for sector, entries in per_sector.items():
+            live = [
+                (offset, key, length)
+                for seq, offset, length, key in entries
+                if winners.get(key, (None, None))[1] == Location(sector, offset, length)
+                and winners[key][0] == seq
+            ]
+            store.allocator.adopt(sector, live, len(entries), clock.now)
+
+        store._index = {key: loc for key, (seq, loc) in winners.items()}
+        store._seq = 1 + max((seq for seq, _ in winners.values()), default=-1)
+        store.stats.counter("recovered_blocks").add(len(winners))
+        store.stats.counter("recovered_sectors").add(len(per_sector))
+        del sector_bytes
+        return store
+
+    def _scan_sector_summaries(self, sector: int) -> List[Tuple[int, int, int, Hashable]]:
+        """Read a sector's summary area; returns (seq, offset, len, key)."""
+        out: List[Tuple[int, int, int, Hashable]] = []
+        entry_index = 0
+        base = sector * self.allocator.sector_bytes
+        while True:
+            slot = self.allocator.summary_slot_offset(sector, entry_index)
+            if slot < 0:
+                break
+            raw = self._do_read(base + slot, SUMMARY_BYTES)
+            parsed = unpack_summary(raw)
+            if parsed is None:
+                break  # first never-programmed slot ends the area
+            kind, seq, offset, length, key = parsed
+            if kind == _KIND_DATA:
+                out.append((seq, offset, length, key))
+            entry_index += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def write_amplification(self) -> float:
+        """(user + cleaner) bytes programmed per user byte."""
+        user = self.stats.counter("user_bytes_written").value
+        gc = self.stats.counter("gc_bytes_copied").value
+        return (user + gc) / user if user else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "mode": self.mode.value,
+            "cleaning": self.cleaning.value,
+            "wear": self.wear.value,
+            "occupancy": self.allocator.occupancy(),
+            "cleaning_stats": self.cleaning_stats.snapshot(),
+            "write_amplification": self.write_amplification(),
+            "wear_summary": self.flash.wear_summary(),
+            "partition": self.partition.describe(),
+        }

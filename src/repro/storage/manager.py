@@ -1,0 +1,185 @@
+"""The physical storage manager facade (paper Section 3.3).
+
+`StorageManager` is what the file system actually talks to.  It wires
+together the DRAM write buffer, the hot/cold tracker, and the
+log-structured flash store, implementing the data path the paper
+describes:
+
+    write  -> battery-backed DRAM buffer -> (age/watermark) -> flash log
+    read   -> buffer hit, else direct flash read (uniform access)
+    delete -> buffered data dies in DRAM, flash copy invalidated
+
+Every block buffered in DRAM is *stable against crashes but not against
+battery death*; the manager exposes exactly that distinction so the
+battery experiments (E11) can count what a power failure loses under
+each flush policy.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.devices.dram import DRAM
+from repro.devices.flash import FlashMemory
+from repro.sim.clock import SimClock
+from repro.sim.engine import Engine
+from repro.sim.stats import StatRegistry
+from repro.storage.compression import BlockCompressor
+from repro.storage.flashstore import FlashStore, StoreMode
+from repro.storage.migration import HotColdTracker
+from repro.storage.writebuffer import FlushItem, FlushReason, WriteBuffer
+
+
+class StorageManager:
+    """Migration + buffering layer between the FS and the flash store."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        flash_store: FlashStore,
+        write_buffer: WriteBuffer,
+        tracker: Optional[HotColdTracker] = None,
+        dram: Optional[DRAM] = None,
+        compressor: Optional[BlockCompressor] = None,
+    ) -> None:
+        """``compressor`` (optional) compresses blocks on the
+        buffer-to-flash path; see :mod:`repro.storage.compression`."""
+        self.clock = clock
+        self.store = flash_store
+        self.buffer = write_buffer
+        self.tracker = tracker or HotColdTracker()
+        self.dram = dram
+        self.compressor = compressor
+        self.stats = StatRegistry("storage-manager")
+        self._flush_timer = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        clock: SimClock,
+        flash: FlashMemory,
+        dram: Optional[DRAM] = None,
+        buffer_bytes: int = 1 << 20,
+        store_mode: StoreMode = StoreMode.LOGGING,
+        compressor: Optional[BlockCompressor] = None,
+        **store_kwargs,
+    ) -> "StorageManager":
+        """Convenience constructor with the paper's default policies."""
+        store = FlashStore(flash, clock, mode=store_mode, **store_kwargs)
+        buffer = WriteBuffer(buffer_bytes, clock, dram=dram)
+        return cls(clock, store, buffer, dram=dram, compressor=compressor)
+
+    def attach_flush_timer(self, engine: Engine, interval_s: float = 5.0) -> None:
+        """Run age-based flushing periodically on the event engine."""
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+        self._flush_timer = engine.schedule_every(
+            interval_s, self._timer_flush, name="writebuffer-age-flush"
+        )
+
+    def _timer_flush(self) -> None:
+        self._persist_items(self.buffer.flush_aged())
+
+    # ------------------------------------------------------------------
+    # Block API used by the file system.
+    # ------------------------------------------------------------------
+
+    def write_block(self, key: Hashable, data: bytes) -> None:
+        now = self.clock.now
+        self.tracker.record_write(key, now)
+        self.stats.counter("user_bytes_written").add(len(data))
+        hot = self.tracker.is_hot(key, now)
+        items = self.buffer.put(key, data, hot=hot)
+        self._persist_items(items)
+
+    def read_block(self, key: Hashable) -> bytes:
+        buffered = self.buffer.get(key)
+        if buffered is not None:
+            return buffered
+        blob = self.store.read_block(key)
+        if self.compressor is not None:
+            blob = self.compressor.decode(blob)
+        return blob
+
+    def contains(self, key: Hashable) -> bool:
+        return key in self.buffer.dirty_keys() or self.store.contains(key)
+
+    def in_flash(self, key: Hashable) -> bool:
+        """True when a stable (battery-proof) copy exists in flash."""
+        return self.store.contains(key)
+
+    def delete_block(self, key: Hashable) -> None:
+        saved = self.buffer.drop(key)
+        if saved:
+            self.stats.counter("bytes_died_in_buffer").add(saved)
+        if self.store.contains(key):
+            self.store.delete_block(key)
+        self.tracker.forget(key)
+
+    def sync(self) -> int:
+        """Flush everything dirty to flash; returns blocks written."""
+        items = self.buffer.flush_all(FlushReason.SYNC)
+        self._persist_items(items)
+        return len(items)
+
+    def sync_key(self, key: Hashable) -> bool:
+        item = self.buffer.flush_key(key, FlushReason.SYNC)
+        if item is None:
+            return False
+        self._persist_items([item])
+        return True
+
+    def _persist_items(self, items: List[FlushItem]) -> None:
+        for item in items:
+            # Re-classify at flush time: data that cooled off while
+            # buffered belongs in the read-mostly banks.
+            hot = self.tracker.is_hot(item.key, self.clock.now)
+            data = item.data
+            if self.compressor is not None:
+                data = self.compressor.encode(data)
+            self.store.write_block(item.key, data, hot=hot)
+
+    # ------------------------------------------------------------------
+    # Power events (experiment E11).
+    # ------------------------------------------------------------------
+
+    def power_loss(self) -> int:
+        """Battery bank died: dirty buffered data is gone.
+
+        Returns the number of bytes lost (data that existed only in
+        battery-backed DRAM).  Blocks already flushed to flash survive.
+        """
+        lost = self.buffer.power_loss()
+        self.stats.counter("bytes_lost_to_power_failure").add(lost)
+        return lost
+
+    def shutdown_flush(self) -> int:
+        """Orderly shutdown: drain the buffer while power remains."""
+        items = self.buffer.flush_all(FlushReason.SHUTDOWN)
+        self._persist_items(items)
+        return len(items)
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def write_traffic_reduction(self) -> float:
+        """Fraction of user write bytes that never reached flash."""
+        user = self.stats.counter("user_bytes_written").value
+        if user == 0:
+            return 0.0
+        flash_user_bytes = self.store.stats.counter("user_bytes_written").value
+        return 1.0 - (flash_user_bytes / user)
+
+    def snapshot(self) -> dict:
+        return {
+            "buffer": self.buffer.snapshot(),
+            "store": self.store.snapshot(),
+            "write_traffic_reduction": self.write_traffic_reduction(),
+            "tracked_keys": self.tracker.tracked_keys(),
+            "stats": self.stats.snapshot(self.clock.now),
+        }

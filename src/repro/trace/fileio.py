@@ -1,0 +1,103 @@
+"""Trace file I/O.
+
+Traces can be saved to (and replayed from) a simple line-oriented text
+format, so experiments can be repeated on the exact same operation
+stream, traces can be inspected/diffed with ordinary tools, and
+externally produced traces (e.g. converted from real system logs) can be
+fed to the replayer.
+
+Format: one record per line, tab-separated::
+
+    <time>\t<op>\t<path>[\t<offset>\t<nbytes>][\t<extra>]
+
+where ``extra`` is the rename target for ``rename`` records and the
+program name for ``exec`` records.  Lines starting with ``#`` are
+comments.  Times are seconds with microsecond precision.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.trace.model import OpType, TraceRecord
+
+_HEADER = "# repro trace v1"
+
+
+def dump_trace(records: Iterable[TraceRecord], fh: IO[str]) -> int:
+    """Write records to a text stream; returns the record count."""
+    fh.write(_HEADER + "\n")
+    count = 0
+    for record in records:
+        fields = [f"{record.time:.6f}", record.op.value, record.path]
+        if record.op in (OpType.READ, OpType.WRITE):
+            fields += [str(record.offset), str(record.nbytes)]
+        elif record.op is OpType.TRUNCATE:
+            fields += ["0", str(record.nbytes)]
+        if record.op is OpType.RENAME:
+            fields.append(record.new_path or "")
+        elif record.op is OpType.EXEC:
+            fields.append(record.program or "")
+        fh.write("\t".join(fields) + "\n")
+        count += 1
+    return count
+
+
+def save_trace(records: Iterable[TraceRecord], path: str) -> int:
+    with open(path, "w", encoding="utf-8") as fh:
+        return dump_trace(records, fh)
+
+
+class TraceParseError(ValueError):
+    """A malformed line in a trace file."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+
+
+def parse_trace(fh: IO[str]) -> Iterator[TraceRecord]:
+    """Parse records from a text stream (generator)."""
+    for number, raw in enumerate(fh, start=1):
+        line = raw.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        if len(fields) < 3:
+            raise TraceParseError(number, line, "too few fields")
+        try:
+            time = float(fields[0])
+            op = OpType(fields[1])
+        except ValueError as exc:
+            raise TraceParseError(number, line, str(exc)) from None
+        path = fields[2]
+        offset = nbytes = 0
+        new_path = program = None
+        rest = fields[3:]
+        try:
+            if op in (OpType.READ, OpType.WRITE, OpType.TRUNCATE):
+                if len(rest) < 2:
+                    raise TraceParseError(number, line, "missing offset/nbytes")
+                offset, nbytes = int(rest[0]), int(rest[1])
+            elif op is OpType.RENAME:
+                if not rest or not rest[0]:
+                    raise TraceParseError(number, line, "missing rename target")
+                new_path = rest[0]
+            elif op is OpType.EXEC:
+                if not rest or not rest[0]:
+                    raise TraceParseError(number, line, "missing program name")
+                program = rest[0]
+        except ValueError:
+            raise TraceParseError(number, line, "bad integer field") from None
+        try:
+            yield TraceRecord(
+                time=time, op=op, path=path, offset=offset, nbytes=nbytes,
+                new_path=new_path, program=program,
+            )
+        except ValueError as exc:
+            raise TraceParseError(number, line, str(exc)) from None
+
+
+def load_trace(path: str) -> List[TraceRecord]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return list(parse_trace(fh))

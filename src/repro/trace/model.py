@@ -1,0 +1,59 @@
+"""Trace record schema.
+
+A trace is a time-ordered list of :class:`TraceRecord`.  Records are
+file-system-level operations (the paper's experiments are about storage
+organization, not syscall minutiae), plus ``EXEC`` records that the full
+hierarchy maps onto program launches (XIP vs load, experiment E6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class OpType(enum.Enum):
+    CREATE = "create"
+    WRITE = "write"
+    READ = "read"
+    DELETE = "delete"
+    TRUNCATE = "truncate"
+    MKDIR = "mkdir"
+    RENAME = "rename"
+    SYNC = "sync"
+    EXEC = "exec"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One operation in a workload trace."""
+
+    time: float
+    op: OpType
+    path: str
+    offset: int = 0
+    nbytes: int = 0
+    new_path: Optional[str] = None  # RENAME target
+    program: Optional[str] = None  # EXEC program name
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("record time cannot be negative")
+        if self.offset < 0 or self.nbytes < 0:
+            raise ValueError("record range cannot be negative")
+        if self.op is OpType.RENAME and not self.new_path:
+            raise ValueError("RENAME needs new_path")
+        if self.op is OpType.EXEC and not self.program:
+            raise ValueError("EXEC needs a program name")
+
+
+def validate_trace(records) -> None:
+    """Check that a trace is time ordered (generators must guarantee it)."""
+    last = -1.0
+    for record in records:
+        if record.time < last:
+            raise ValueError(
+                f"trace not time ordered at t={record.time} (prev {last})"
+            )
+        last = record.time

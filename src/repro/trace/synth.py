@@ -1,0 +1,272 @@
+"""Synthetic trace generation.
+
+The generator reproduces the statistical structure reported by the trace
+studies the paper cites, which is what the storage-manager claims depend
+on:
+
+- **File sizes are small and lognormal-ish** (Ousterhout '85: most files
+  under a few KB; a thin tail of big ones).
+- **Write traffic is overwrite-dominated** (Baker '91: a large share of
+  writes hit recently written blocks -- mailboxes, editor save files,
+  append logs).  Controlled by ``p_overwrite_start`` and the Zipf skew
+  over the file population.
+- **Most new bytes die young** (Baker '91: 65-80% of new bytes are
+  deleted or overwritten within ~30 s).  Temp files are created, written
+  and deleted after an exponential lifetime.
+- **Arrivals are bursty** (exponential inter-arrivals at a configurable
+  rate).
+
+Generation is deterministic given ``(profile, seed)`` and is pure --
+records are produced against an internal namespace model so replays
+never hit ENOENT-style errors.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.sim.rand import substream
+from repro.trace.model import OpType, TraceRecord
+
+BLOCK = 4096
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Tunable statistics for one synthetic workload."""
+
+    name: str
+    duration_s: float = 600.0
+    ops_per_second: float = 10.0
+
+    # Population.
+    n_dirs: int = 6
+    initial_files: int = 40
+    file_select_skew: float = 1.1  # Zipf skew; higher = hotter head
+
+    # Operation mix (probabilities; remainder is READ).
+    p_write: float = 0.30
+    p_whole_rewrite: float = 0.06  # editor "save": truncate + rewrite
+    p_create_temp: float = 0.08
+    p_delete: float = 0.01
+    p_exec: float = 0.0
+    p_sync: float = 0.004
+
+    # Sizes.
+    file_size_median: float = 6 * 1024.0
+    file_size_sigma: float = 1.3
+    max_file_bytes: int = 512 * 1024
+    io_size_median: float = 2 * 1024.0
+    io_size_sigma: float = 1.0
+    max_io_bytes: int = 64 * 1024
+
+    # Overwrite behaviour.
+    p_overwrite_start: float = 0.55  # writes hitting offset 0
+    p_append: float = 0.25  # writes appending at EOF
+    temp_lifetime_s: float = 8.0  # mean temp-file lifetime
+
+    # Programs for EXEC records: (name, code size in bytes).
+    programs: Tuple[Tuple[str, int], ...] = ()
+
+    def validate(self) -> None:
+        total = (
+            self.p_write
+            + self.p_whole_rewrite
+            + self.p_create_temp
+            + self.p_delete
+            + self.p_exec
+            + self.p_sync
+        )
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"{self.name}: op probabilities sum to {total} > 1")
+        if self.duration_s <= 0 or self.ops_per_second <= 0:
+            raise ValueError(f"{self.name}: duration and rate must be positive")
+        if self.p_exec > 0 and not self.programs:
+            raise ValueError(f"{self.name}: p_exec > 0 needs programs")
+
+
+@dataclass
+class _FileState:
+    path: str
+    size: int
+    temp: bool = False
+
+
+class SyntheticTraceGenerator:
+    """Produces a deterministic, valid trace for a profile."""
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 0) -> None:
+        profile.validate()
+        self.profile = profile
+        self.seed = seed
+        self._rng = substream(seed, f"trace:{profile.name}")
+        self._files: List[_FileState] = []
+        self._next_file_id = 0
+        # (time, seq, path) heap of scheduled temp-file deletions.
+        self._pending_deletes: List[Tuple[float, int, str]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Helpers.
+    # ------------------------------------------------------------------
+
+    def _dir(self, index: int) -> str:
+        return f"/d{index % self.profile.n_dirs}"
+
+    def _new_path(self, temp: bool) -> str:
+        fid = self._next_file_id
+        self._next_file_id += 1
+        prefix = "tmp" if temp else "f"
+        return f"{self._dir(fid)}/{prefix}{fid}"
+
+    def _draw_file_size(self) -> int:
+        p = self.profile
+        return max(1, int(p.file_size_median if p.file_size_sigma == 0
+                          else self._rng.bounded_lognormal(
+                              p.file_size_median, p.file_size_sigma, 64, p.max_file_bytes)))
+
+    def _draw_io_size(self) -> int:
+        p = self.profile
+        return max(1, int(self._rng.bounded_lognormal(
+            p.io_size_median, p.io_size_sigma, 64, p.max_io_bytes)))
+
+    def _pick_file(self) -> Optional[_FileState]:
+        if not self._files:
+            return None
+        index = self._rng.zipf_index(len(self._files), self.profile.file_select_skew)
+        return self._files[index]
+
+    def _remove_file(self, path: str) -> Optional[_FileState]:
+        for i, state in enumerate(self._files):
+            if state.path == path:
+                return self._files.pop(i)
+        return None
+
+    # ------------------------------------------------------------------
+    # Generation.
+    # ------------------------------------------------------------------
+
+    def generate(self) -> List[TraceRecord]:
+        """The full trace: setup prologue plus the timed operation stream."""
+        records = list(self._setup_records())
+        records.extend(self._op_stream())
+        return records
+
+    def _setup_records(self) -> Iterator[TraceRecord]:
+        p = self.profile
+        for d in range(p.n_dirs):
+            yield TraceRecord(0.0, OpType.MKDIR, self._dir(d))
+        for _ in range(p.initial_files):
+            path = self._new_path(temp=False)
+            size = self._draw_file_size()
+            # Hot files first: insertion order defines Zipf rank.
+            self._files.append(_FileState(path=path, size=size))
+            yield TraceRecord(0.0, OpType.CREATE, path)
+            yield TraceRecord(0.0, OpType.WRITE, path, offset=0, nbytes=size)
+
+    def _op_stream(self) -> Iterator[TraceRecord]:
+        p = self.profile
+        t = 0.0
+        while True:
+            t += self._rng.expovariate(p.ops_per_second)
+            if t >= p.duration_s:
+                break
+            # Temp files whose lifetime expired die first.
+            while self._pending_deletes and self._pending_deletes[0][0] <= t:
+                when, _seq, path = heapq.heappop(self._pending_deletes)
+                if self._remove_file(path) is not None:
+                    yield TraceRecord(when, OpType.DELETE, path)
+            yield from self._one_op(t)
+        # Drain scheduled deletions still inside the window.
+        while self._pending_deletes:
+            when, _seq, path = heapq.heappop(self._pending_deletes)
+            if when < p.duration_s and self._remove_file(path) is not None:
+                yield TraceRecord(when, OpType.DELETE, path)
+
+    def _one_op(self, t: float) -> Iterator[TraceRecord]:
+        p = self.profile
+        u = self._rng.random()
+        edge = p.p_write
+        if u < edge:
+            yield from self._write_op(t)
+            return
+        edge += p.p_whole_rewrite
+        if u < edge:
+            yield from self._whole_rewrite(t)
+            return
+        edge += p.p_create_temp
+        if u < edge:
+            yield from self._create_temp(t)
+            return
+        edge += p.p_delete
+        if u < edge:
+            yield from self._delete_op(t)
+            return
+        edge += p.p_exec
+        if u < edge:
+            name, _size = self._rng.choice(list(p.programs))
+            yield TraceRecord(t, OpType.EXEC, "/", program=name)
+            return
+        edge += p.p_sync
+        if u < edge:
+            yield TraceRecord(t, OpType.SYNC, "/")
+            return
+        yield from self._read_op(t)
+
+    def _write_op(self, t: float) -> Iterator[TraceRecord]:
+        state = self._pick_file()
+        if state is None:
+            return
+        p = self.profile
+        size = self._draw_io_size()
+        u = self._rng.random()
+        if u < p.p_overwrite_start or state.size == 0:
+            offset = 0
+        elif u < p.p_overwrite_start + p.p_append:
+            offset = state.size
+        else:
+            max_block = max(0, (state.size - 1) // BLOCK)
+            offset = self._rng.randint(0, max_block) * BLOCK
+        state.size = max(state.size, offset + size)
+        yield TraceRecord(t, OpType.WRITE, state.path, offset=offset, nbytes=size)
+
+    def _whole_rewrite(self, t: float) -> Iterator[TraceRecord]:
+        state = self._pick_file()
+        if state is None:
+            return
+        new_size = self._draw_file_size()
+        yield TraceRecord(t, OpType.TRUNCATE, state.path, nbytes=0)
+        yield TraceRecord(t, OpType.WRITE, state.path, offset=0, nbytes=new_size)
+        state.size = new_size
+
+    def _create_temp(self, t: float) -> Iterator[TraceRecord]:
+        p = self.profile
+        path = self._new_path(temp=True)
+        size = self._draw_io_size()
+        state = _FileState(path=path, size=size, temp=True)
+        # Temp files are hot by construction: put them near the head.
+        self._files.insert(0, state)
+        yield TraceRecord(t, OpType.CREATE, path)
+        yield TraceRecord(t, OpType.WRITE, path, offset=0, nbytes=size)
+        lifetime = self._rng.expovariate(1.0 / p.temp_lifetime_s)
+        self._seq += 1
+        heapq.heappush(self._pending_deletes, (t + lifetime, self._seq, path))
+
+    def _delete_op(self, t: float) -> Iterator[TraceRecord]:
+        state = self._pick_file()
+        if state is None or len(self._files) <= 2:
+            return
+        self._remove_file(state.path)
+        yield TraceRecord(t, OpType.DELETE, state.path)
+
+    def _read_op(self, t: float) -> Iterator[TraceRecord]:
+        state = self._pick_file()
+        if state is None or state.size == 0:
+            return
+        size = min(self._draw_io_size(), state.size)
+        max_offset = max(0, state.size - size)
+        max_block = max_offset // BLOCK
+        offset = min(self._rng.randint(0, max_block) * BLOCK, max_offset)
+        yield TraceRecord(t, OpType.READ, state.path, offset=offset, nbytes=size)

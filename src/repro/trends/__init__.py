@@ -1,0 +1,17 @@
+"""Technology trend extrapolation (paper Section 2, experiment E2)."""
+
+from repro.trends.model import (
+    TrendLine,
+    TrendSet,
+    crossover_year,
+    default_trends_1993,
+    flash_disk_cost_parity,
+)
+
+__all__ = [
+    "TrendLine",
+    "TrendSet",
+    "crossover_year",
+    "default_trends_1993",
+    "flash_disk_cost_parity",
+]

@@ -1,0 +1,78 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.organization == "solid_state"
+        assert args.workload == "office"
+
+    def test_bad_organization_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--organization", "cloud"])
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "doom"])
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "KittyHawk" in out
+        assert "NEC" in out
+
+    def test_trends(self, capsys):
+        assert main(["trends"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out
+        assert "1996" in out or "1995" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("office", "pim", "database"):
+            assert name in out
+
+    def test_run_pim(self, capsys):
+        rc = main(["run", "--workload", "pim", "--duration", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "write-traffic reduction" in out
+        assert "solid_state" in out
+
+    def test_run_disk_org(self, capsys):
+        rc = main(
+            ["run", "--organization", "disk", "--workload", "pim", "--duration", "15"]
+        )
+        assert rc == 0
+        assert "disk" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--workload", "pim", "--duration", "15"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for org in ("solid_state", "disk", "flash_disk", "flash_eip", "naive_flash"):
+            assert org in out
+
+    def test_experiment_e1(self, capsys):
+        rc = main(["experiment", "E1"])
+        assert rc == 0
+        assert "[E1]" in capsys.readouterr().out
+
+    def test_experiment_lowercase(self, capsys):
+        assert main(["experiment", "e2"]) == 0
+        assert "[E2]" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

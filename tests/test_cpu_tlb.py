@@ -1,0 +1,155 @@
+"""Unit tests for the CPU model and the TLB."""
+
+import pytest
+
+from repro.core import MobileComputer, Organization, SystemConfig
+from repro.devices import CPU, CPUSpec, DRAM
+from repro.mem import PAGE_SIZE, PageFrameAllocator, PhysicalAddressSpace, TLB, VirtualMemory
+from repro.power import PowerModel
+from repro.sim import SimClock
+
+MB = 1024 * 1024
+
+
+class TestCPU:
+    def test_busy_accumulates_energy(self):
+        cpu = CPU(CPUSpec(active_power_w=2.0, idle_power_w=0.0))
+        cpu.busy(0.5)
+        assert cpu.stats.energy_joules == pytest.approx(1.0)
+        assert cpu.busy_seconds == 0.5
+
+    def test_idle_accrual(self):
+        cpu = CPU(CPUSpec(active_power_w=2.0, idle_power_w=0.1))
+        cpu.accrue_idle(10.0)
+        assert cpu.idle_energy_joules == pytest.approx(1.0)
+        cpu.accrue_idle(10.0)  # idempotent
+        assert cpu.idle_energy_joules == pytest.approx(1.0)
+
+    def test_negative_busy_rejected(self):
+        with pytest.raises(ValueError):
+            CPU().busy(-1.0)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            CPUSpec(active_power_w=0.01, idle_power_w=0.05).validate()
+
+    def test_meterable_by_power_model(self):
+        cpu = CPU()
+        model = PowerModel([cpu])
+        cpu.busy(1.0)
+        drawn = model.settle(10.0)
+        assert drawn > 0
+        breakdown = model.breakdown(10.0)
+        assert breakdown.active["cpu"] > 0
+        assert breakdown.idle["cpu"] > 0
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(entries=4)
+        phys, walk = tlb.lookup(1, 100)
+        assert phys is None and walk > 0
+        tlb.insert(1, 100, 0x4000)
+        phys, walk = tlb.lookup(1, 100)
+        assert phys == 0x4000 and walk == 0.0
+
+    def test_asids_do_not_collide(self):
+        tlb = TLB(entries=4)
+        tlb.insert(1, 100, 0x1000)
+        phys, _ = tlb.lookup(2, 100)
+        assert phys is None
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.insert(1, 1, 0x1000)
+        tlb.insert(1, 2, 0x2000)
+        tlb.lookup(1, 1)  # refresh 1
+        tlb.insert(1, 3, 0x3000)  # evicts vpn 2
+        assert tlb.lookup(1, 2)[0] is None
+        assert tlb.lookup(1, 1)[0] == 0x1000
+
+    def test_invalidate_and_flush(self):
+        tlb = TLB(entries=8)
+        tlb.insert(1, 1, 0x1000)
+        tlb.insert(2, 1, 0x2000)
+        tlb.invalidate(1, 1)
+        assert tlb.lookup(1, 1)[0] is None
+        assert tlb.lookup(2, 1)[0] == 0x2000
+        tlb.flush_asid(2)
+        assert len(tlb) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+        with pytest.raises(ValueError):
+            TLB(walk_s=-1.0)
+
+    def test_hit_ratio(self):
+        tlb = TLB(entries=4)
+        tlb.lookup(1, 1)
+        tlb.insert(1, 1, 0)
+        tlb.lookup(1, 1)
+        tlb.lookup(1, 1)
+        assert tlb.hit_ratio() == pytest.approx(2 / 3)
+
+
+class TestVMWithTLB:
+    def make_vm(self, tlb_entries=8):
+        clock = SimClock()
+        phys = PhysicalAddressSpace(clock)
+        dram = DRAM(MB)
+        region = phys.add_region("dram", dram)
+        frames = PageFrameAllocator(region.base, region.size)
+        tlb = TLB(entries=tlb_entries)
+        cpu = CPU()
+        vm = VirtualMemory(phys, frames, tlb=tlb, cpu=cpu)
+        return vm, tlb, cpu
+
+    def test_repeated_access_hits_tlb(self):
+        vm, tlb, _cpu = self.make_vm()
+        space = vm.create_space("p")
+        vaddr = vm.map_anonymous(space, 2)
+        for _ in range(10):
+            vm.write(space, vaddr, b"x")
+        assert tlb.hit_ratio() > 0.8
+
+    def test_walks_charge_cpu(self):
+        vm, _tlb, cpu = self.make_vm()
+        space = vm.create_space("p")
+        vaddr = vm.map_anonymous(space, 4)
+        for i in range(4):
+            vm.write(space, vaddr + i * PAGE_SIZE, b"x")
+        assert cpu.busy_seconds > 0  # faults + walks
+
+    def test_unmap_invalidates_translation(self):
+        vm, tlb, _cpu = self.make_vm()
+        space = vm.create_space("p")
+        vaddr = vm.map_anonymous(space, 1)
+        vm.write(space, vaddr, b"x")
+        vm.unmap(space, vaddr, 1)
+        assert tlb.lookup(space.asid, vaddr // PAGE_SIZE)[0] is None
+
+    def test_working_set_larger_than_tlb_thrashes(self):
+        vm, tlb, _cpu = self.make_vm(tlb_entries=4)
+        space = vm.create_space("p")
+        vaddr = vm.map_anonymous(space, 16)
+        for _round in range(3):
+            for i in range(16):
+                vm.read(space, vaddr + i * PAGE_SIZE, 8)
+        assert tlb.hit_ratio() < 0.2  # sequential sweep over 4-entry TLB
+
+
+class TestMachineEnergyIncludesCPU:
+    def test_cpu_in_energy_breakdown(self):
+        machine = MobileComputer(
+            SystemConfig(
+                organization=Organization.SOLID_STATE,
+                dram_bytes=4 * MB,
+                flash_bytes=8 * MB,
+                compress_flash=True,
+            )
+        )
+        _report, metrics = machine.run_workload("pim", duration_s=30.0)
+        assert "cpu" in metrics.energy_by_device
+        assert metrics.energy_by_device["cpu"] > 0
+        assert machine.cpu.busy_seconds > 0  # compression charged compute

@@ -1,0 +1,171 @@
+"""Unit tests for the buffer cache and the flash block devices (FTLs)."""
+
+import pytest
+
+from repro.devices import DRAM, FlashMemory, MagneticDisk
+from repro.fs import (
+    BufferCache,
+    DiskBlockDevice,
+    EraseInPlaceFlashBlockDevice,
+    LogStructuredFTL,
+)
+from repro.sim import Engine, SimClock
+from repro.storage import FlashStore
+
+MB = 1024 * 1024
+BLOCK = 4096
+
+
+def make_cache(capacity_blocks=4):
+    clock = SimClock()
+    disk = MagneticDisk(8 * MB)
+    device = DiskBlockDevice(disk, clock)
+    cache = BufferCache(device, clock, capacity_blocks, dram=DRAM(1 * MB))
+    return cache, device, clock
+
+
+class TestBufferCache:
+    def test_read_miss_then_hit(self):
+        cache, device, _clock = make_cache()
+        device.write_block(5, b"\x07" * BLOCK)
+        assert cache.read(5) == b"\x07" * BLOCK  # miss
+        assert cache.read(5) == b"\x07" * BLOCK  # hit
+        assert cache.stats.counter("misses").value == 1
+        assert cache.stats.counter("hits").value == 1
+
+    def test_write_back_not_through(self):
+        cache, device, _clock = make_cache()
+        writes_before = device.disk.stats.writes
+        cache.write(3, b"\x01" * BLOCK)
+        assert device.disk.stats.writes == writes_before  # not yet on disk
+        cache.flush()
+        assert device.disk.stats.writes == writes_before + 1
+
+    def test_lru_eviction_writes_dirty(self):
+        cache, device, _clock = make_cache(capacity_blocks=2)
+        cache.write(1, b"\x01" * BLOCK)
+        cache.write(2, b"\x02" * BLOCK)
+        cache.write(3, b"\x03" * BLOCK)  # evicts block 1 (dirty)
+        assert cache.stats.counter("dirty_evictions").value == 1
+        assert device.read_block(1) == b"\x01" * BLOCK
+
+    def test_hit_refreshes_lru(self):
+        cache, _device, _clock = make_cache(capacity_blocks=2)
+        cache.write(1, b"\x01" * BLOCK)
+        cache.write(2, b"\x02" * BLOCK)
+        cache.read(1)  # 1 is now most recent
+        cache.write(3, b"\x03" * BLOCK)  # should evict 2, not 1
+        assert 1 in cache._blocks
+        assert 2 not in cache._blocks
+
+    def test_periodic_sync_timer(self):
+        engine = Engine()
+        disk = MagneticDisk(8 * MB)
+        device = DiskBlockDevice(disk, engine.clock)
+        cache = BufferCache(device, engine.clock, 8)
+        cache.attach_sync_timer(engine, interval_s=30.0)
+        cache.write(0, b"\x0a" * BLOCK)
+        engine.run_until(29.0)
+        assert cache.dirty_blocks == 1
+        engine.run_until(31.0)
+        assert cache.dirty_blocks == 0
+
+    def test_crash_loses_dirty(self):
+        cache, device, _clock = make_cache()
+        cache.write(7, b"\x07" * BLOCK)
+        assert cache.crash() == 1
+        assert device.read_block(7) == bytes(BLOCK)
+
+    def test_partial_write_rejected(self):
+        cache, _device, _clock = make_cache()
+        with pytest.raises(ValueError):
+            cache.write(0, b"short")
+
+    def test_hit_ratio(self):
+        cache, device, _clock = make_cache()
+        device.write_block(0, bytes(BLOCK))
+        cache.read(0)
+        cache.read(0)
+        cache.read(0)
+        assert cache.hit_ratio() == pytest.approx(2 / 3)
+
+
+class TestEraseInPlaceDevice:
+    def make(self, banks=1):
+        clock = SimClock()
+        flash = FlashMemory(4 * MB, banks=banks)
+        return EraseInPlaceFlashBlockDevice(flash, clock), flash
+
+    def test_roundtrip(self):
+        dev, _flash = self.make()
+        dev.write_block(3, b"\x33" * BLOCK)
+        assert dev.read_block(3) == b"\x33" * BLOCK
+
+    def test_overwrite_costs_erase(self):
+        dev, flash = self.make()
+        dev.write_block(3, b"\x01" * BLOCK)
+        erases = flash.total_erases
+        dev.write_block(3, b"\x02" * BLOCK)
+        assert flash.total_erases == erases + 1
+        assert dev.read_block(3) == b"\x02" * BLOCK
+
+    def test_unwritten_block_reads_erased(self):
+        dev, _flash = self.make()
+        assert dev.read_block(10) == b"\xff" * BLOCK
+
+    def test_neighbor_blocks_preserved_with_large_sectors(self):
+        from repro.devices.catalog import FLASH_INTEL_SERIES2
+
+        clock = SimClock()
+        flash = FlashMemory(4 * MB, spec=FLASH_INTEL_SERIES2, banks=1)  # 64 KB sectors
+        dev = EraseInPlaceFlashBlockDevice(flash, clock)
+        # Blocks 0..15 share one erase sector.
+        dev.write_block(0, b"\x01" * BLOCK)
+        dev.write_block(1, b"\x02" * BLOCK)
+        dev.write_block(0, b"\x03" * BLOCK)  # read-modify-erase-program
+        assert dev.read_block(1) == b"\x02" * BLOCK
+        assert dev.read_block(0) == b"\x03" * BLOCK
+
+
+class TestLogStructuredFTL:
+    def make(self):
+        clock = SimClock()
+        flash = FlashMemory(4 * MB, banks=2)
+        store = FlashStore(flash, clock)
+        return LogStructuredFTL(store), flash
+
+    def test_roundtrip(self):
+        ftl, _flash = self.make()
+        ftl.write_block(9, b"\x09" * BLOCK)
+        assert ftl.read_block(9) == b"\x09" * BLOCK
+
+    def test_unwritten_reads_zero(self):
+        ftl, _flash = self.make()
+        assert ftl.read_block(100) == bytes(BLOCK)
+
+    def test_overwrite_without_erase(self):
+        ftl, flash = self.make()
+        ftl.write_block(1, b"\x01" * BLOCK)
+        erases = flash.total_erases
+        ftl.write_block(1, b"\x02" * BLOCK)
+        assert flash.total_erases == erases  # logging hides the erase
+        assert ftl.read_block(1) == b"\x02" * BLOCK
+
+    def test_exported_capacity_is_overprovisioned(self):
+        ftl, flash = self.make()
+        assert ftl.nblocks * BLOCK < flash.capacity_bytes
+
+    def test_trim(self):
+        ftl, _flash = self.make()
+        ftl.write_block(4, b"\x04" * BLOCK)
+        ftl.trim(4)
+        assert ftl.read_block(4) == bytes(BLOCK)
+
+    def test_sustained_overwrites_trigger_cleaning(self):
+        ftl, flash = self.make()
+        for i in range(1500):
+            ftl.write_block(i % 8, bytes([i % 256]) * BLOCK)
+        assert ftl.store.cleaning_stats.sectors_cleaned > 0
+        for i in range(8):
+            assert len(ftl.read_block(i)) == BLOCK
+        ftl.store.allocator.check_invariants()

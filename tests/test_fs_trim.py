@@ -1,0 +1,86 @@
+"""TRIM integration: the conventional FS tells the FTL about dead blocks."""
+
+import pytest
+
+from repro.devices import DRAM, FlashMemory, MagneticDisk
+from repro.fs import (
+    BufferCache,
+    ConventionalFileSystem,
+    DiskBlockDevice,
+    LogStructuredFTL,
+    mkfs,
+)
+from repro.sim import SimClock
+from repro.storage import FlashStore
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def make_ftl_fs():
+    clock = SimClock()
+    flash = FlashMemory(8 * MB, banks=2)
+    store = FlashStore(flash, clock)
+    ftl = LogStructuredFTL(store)
+    cache = BufferCache(ftl, clock, 64, dram=DRAM(MB))
+    layout = mkfs(cache, ninodes=64)
+    return ConventionalFileSystem(cache, layout), store
+
+
+class TestTrim:
+    def test_delete_trims_ftl_blocks(self):
+        fs, store = make_ftl_fs()
+        fs.create("/big")
+        fs.write("/big", 0, b"D" * (64 * KB))
+        fs.sync()
+        live_before = store.allocator.total_live_bytes
+        fs.delete("/big")
+        fs.sync()
+        # The file's data blocks were handed back to the log.
+        assert store.allocator.total_live_bytes < live_before - 48 * KB
+        assert fs.stats.counter("blocks_trimmed").value >= 16
+
+    def test_truncate_trims(self):
+        fs, store = make_ftl_fs()
+        fs.create("/f")
+        fs.write("/f", 0, b"T" * (40 * KB))
+        fs.sync()
+        live_before = store.allocator.total_live_bytes
+        fs.truncate("/f", 4 * KB)
+        fs.sync()
+        assert store.allocator.total_live_bytes < live_before
+        assert fs.read("/f", 0, 4) == b"TTTT"
+
+    def test_trimmed_space_is_reusable_without_growth(self):
+        fs, store = make_ftl_fs()
+        for round_ in range(6):
+            fs.create(f"/cycle{round_}")
+            fs.write(f"/cycle{round_}", 0, bytes([round_]) * (96 * KB))
+            fs.sync()
+            fs.delete(f"/cycle{round_}")
+        fs.sync()
+        # Live bytes stay bounded by metadata, not by churn history.
+        assert store.allocator.total_live_bytes < 1 * MB
+        store.allocator.check_invariants()
+
+    def test_disk_device_unaffected(self):
+        clock = SimClock()
+        disk = MagneticDisk(16 * MB)
+        cache = BufferCache(DiskBlockDevice(disk, clock), clock, 32)
+        layout = mkfs(cache, ninodes=32)
+        fs = ConventionalFileSystem(cache, layout)
+        fs.create("/f")
+        fs.write("/f", 0, b"x" * (16 * KB))
+        fs.delete("/f")  # no trim attr on the disk device: no crash
+        assert fs.stats.counter("blocks_trimmed").value == 0
+
+    def test_dirty_freed_block_not_written_back(self):
+        fs, store = make_ftl_fs()
+        fs.create("/f")
+        fs.write("/f", 0, b"x" * (16 * KB))  # dirty in cache only
+        user_bytes_before = store.stats.counter("user_bytes_written").value
+        fs.delete("/f")
+        fs.sync()
+        # The dead data blocks never reached flash at all.
+        after = store.stats.counter("user_bytes_written").value
+        assert after - user_bytes_before < 16 * KB

@@ -1,0 +1,166 @@
+"""Cross-subsystem integration tests.
+
+The strongest checks available to a simulator: different storage
+organizations replaying the *same* trace must end with byte-identical
+logical file contents (the organizations differ in physics, not
+semantics), runs must be bit-for-bit deterministic, and the quantitative
+orderings the paper predicts must hold across seeds.
+"""
+
+import pytest
+
+from repro.core import MobileComputer, Organization, SystemConfig
+from repro.trace import TraceReplayer, generate_workload
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def build(org, **overrides):
+    defaults = dict(
+        organization=org,
+        dram_bytes=4 * MB,
+        flash_bytes=16 * MB,
+        disk_bytes=32 * MB,
+        program_flash_bytes=1 * MB,
+    )
+    defaults.update(overrides)
+    return MobileComputer(SystemConfig(**defaults))
+
+
+def fs_image(machine) -> dict:
+    """Logical contents of the whole namespace."""
+    image = {}
+
+    def walk(path):
+        for name in machine.fs.listdir(path):
+            child = f"{path}/{name}" if path != "/" else f"/{name}"
+            st = machine.fs.stat(child)
+            if st.is_dir:
+                walk(child)
+            else:
+                image[child] = machine.fs.read_file(child)
+
+    walk("/")
+    return image
+
+
+class TestCrossOrganizationEquivalence:
+    def test_same_trace_same_logical_contents(self):
+        trace = generate_workload("office", seed=13, duration_s=45.0)
+        images = {}
+        for org in (
+            Organization.SOLID_STATE,
+            Organization.DISK,
+            Organization.FLASH_DISK,
+        ):
+            machine = build(org)
+            report = machine.run_trace(trace)
+            assert report.errors == 0
+            images[org] = fs_image(machine)
+        solid = images[Organization.SOLID_STATE]
+        assert solid  # non-trivial namespace
+        assert images[Organization.DISK] == solid
+        assert images[Organization.FLASH_DISK] == solid
+
+    def test_compressed_machine_is_semantically_identical(self):
+        trace = generate_workload("pim", seed=5, duration_s=60.0)
+        plain = build(Organization.SOLID_STATE)
+        compressed = build(Organization.SOLID_STATE, compress_flash=True)
+        plain.run_trace(trace)
+        compressed.run_trace(trace)
+        assert fs_image(plain) == fs_image(compressed)
+
+
+class TestDeterminism:
+    def test_whole_machine_metrics_reproducible(self):
+        def one():
+            machine = build(Organization.SOLID_STATE, seed=3)
+            _report, metrics = machine.run_workload("exec_heavy", duration_s=40.0)
+            return metrics.snapshot()
+
+        assert one() == one()
+
+    def test_disk_org_reproducible(self):
+        def one():
+            machine = build(Organization.DISK, seed=3)
+            report, metrics = machine.run_workload("office", duration_s=30.0)
+            return (report.records, metrics.snapshot())
+
+        assert one() == one()
+
+    def test_different_seed_changes_trace_not_semantics(self):
+        a = build(Organization.SOLID_STATE, seed=1)
+        b = build(Organization.SOLID_STATE, seed=2)
+        ra, _ = a.run_workload("office", duration_s=30.0)
+        rb, _ = b.run_workload("office", duration_s=30.0)
+        assert ra.errors == rb.errors == 0
+        assert ra.records != rb.records  # genuinely different streams
+
+
+class TestPaperOrderingsAcrossSeeds:
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_solid_state_wins_on_write_latency(self, seed):
+        solid = build(Organization.SOLID_STATE, seed=seed)
+        disk = build(Organization.DISK, seed=seed)
+        r1, m1 = solid.run_workload("office", duration_s=40.0)
+        r2, m2 = disk.run_workload("office", duration_s=40.0)
+        # Compare medians: the mean is legitimately spiky when a write
+        # burst overflows the buffer and flushes synchronously (that
+        # tail is the phenomenon E3/X2 quantify, not noise).
+        p50_solid = r1.op_latency["write"]["p50"]
+        p50_disk = r2.op_latency["write"]["p50"]
+        assert p50_solid < p50_disk
+        assert m1.mean_read_latency < m2.mean_read_latency
+        assert m1.energy_joules < m2.energy_joules
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_buffer_always_reduces_traffic(self, seed):
+        with_buffer = build(Organization.SOLID_STATE, seed=seed)
+        without = build(
+            Organization.SOLID_STATE, seed=seed, write_buffer_bytes=0, dram_bytes=4 * MB
+        )
+        _r1, m1 = with_buffer.run_workload("office", duration_s=40.0)
+        _r2, m2 = without.run_workload("office", duration_s=40.0)
+        assert m1.flash_bytes_programmed < m2.flash_bytes_programmed
+        assert m1.write_traffic_reduction > 0.2
+        assert m2.write_traffic_reduction == 0.0
+
+
+class TestExperimentDriversSmoke:
+    """Cheap E-drivers run end-to-end and report sane shapes."""
+
+    def test_e1_shape(self):
+        from repro.analysis.experiments import e01_devices
+
+        result = e01_devices.run()
+        assert len(result.rows) == 5
+        by_name = result.extras["rows_by_device"]
+        dram = next(v for k, v in by_name.items() if "NEC" in k)
+        disk = next(v for k, v in by_name.items() if "KittyHawk" in k)
+        assert dram[1] < disk[1]  # read latency ordering
+
+    def test_e2_crossovers(self):
+        from repro.analysis.experiments import e02_trends
+
+        result = e02_trends.run()
+        assert 1994 < result.extras["density_crossover"] < 1997
+        assert 1995 < result.extras["parity_year_40mb"] < 1998
+
+    def test_e5_zero_copy(self):
+        from repro.analysis.experiments import e05_mmap_cow
+
+        result = e05_mmap_cow.run(quick=True, file_pages=16, touched_pages=4)
+        assert result.extras["mmap_frames"] == 0
+        assert result.extras["copy_frames"] == 16
+        assert result.extras["cow_faults"] == 4
+
+    def test_e8_partitioning_eliminates_stalls(self):
+        from repro.analysis.experiments import e08_banks
+
+        result = e08_banks.run(quick=True)
+        cases = result.extras["by_case"]
+        single = cases["1 bank (no partition)"]
+        partitioned = cases["2 banks, 1 write + 1 read-mostly"]
+        assert single["stall_fraction"] > 0.02
+        assert partitioned["stall_fraction"] == 0.0

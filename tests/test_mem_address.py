@@ -1,0 +1,85 @@
+"""Unit tests for the single-level physical address space."""
+
+import pytest
+
+from repro.devices import DRAM, FlashMemory
+from repro.mem import PhysicalAddressSpace
+from repro.mem.address import DRAM_BASE, FLASH_BASE
+from repro.sim import SimClock
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def phys():
+    clock = SimClock()
+    space = PhysicalAddressSpace(clock)
+    space.add_region("dram", DRAM(1 * MB))
+    space.add_region("flash", FlashMemory(1 * MB, banks=2), base=FLASH_BASE)
+    return space
+
+
+class TestRegions:
+    def test_first_region_at_dram_base(self, phys):
+        assert phys.region_named("dram").base == DRAM_BASE
+
+    def test_flash_at_requested_base(self, phys):
+        assert phys.region_named("flash").base == FLASH_BASE
+
+    def test_auto_base_does_not_overlap(self):
+        space = PhysicalAddressSpace(SimClock())
+        a = space.add_region("a", DRAM(1 * MB))
+        b = space.add_region("b", DRAM(1 * MB))
+        assert b.base >= a.end
+
+    def test_overlap_rejected(self, phys):
+        with pytest.raises(ValueError):
+            phys.add_region("bad", DRAM(1 * MB), base=DRAM_BASE + 4096)
+
+    def test_region_of(self, phys):
+        assert phys.region_of(FLASH_BASE + 100).name == "flash"
+        with pytest.raises(ValueError):
+            phys.region_of(0x5000_0000_0000)
+
+    def test_region_of_straddling_access(self, phys):
+        with pytest.raises(ValueError):
+            phys.region_of(1 * MB - 2, nbytes=8)  # runs off the DRAM region
+
+    def test_unknown_region_name(self, phys):
+        with pytest.raises(KeyError):
+            phys.region_named("nvram")
+
+
+class TestUniformAccess:
+    def test_dram_roundtrip(self, phys):
+        phys.write(DRAM_BASE + 128, b"primary")
+        assert phys.read(DRAM_BASE + 128, 7) == b"primary"
+
+    def test_flash_roundtrip(self, phys):
+        phys.write(FLASH_BASE + 4096, b"secondary")
+        assert phys.read(FLASH_BASE + 4096, 9) == b"secondary"
+
+    def test_clock_advances_with_access(self, phys):
+        before = phys.clock.now
+        phys.read(DRAM_BASE, 4096)
+        assert phys.clock.now > before
+
+    def test_flash_read_slower_than_dram(self, phys):
+        phys.write(DRAM_BASE, b"\x00" * 4096)
+        _, dram_latency = phys.read_latency_probe(DRAM_BASE, 4096)
+        _, flash_latency = phys.read_latency_probe(FLASH_BASE, 4096)
+        assert flash_latency > dram_latency
+
+    def test_read_only_region_rejects_writes(self):
+        space = PhysicalAddressSpace(SimClock())
+        space.add_region("rom", DRAM(1 * MB), writable=False)
+        with pytest.raises(PermissionError):
+            space.write(0, b"x")
+
+    def test_is_flash(self, phys):
+        assert phys.is_flash(FLASH_BASE)
+        assert not phys.is_flash(DRAM_BASE)
+
+    def test_describe(self, phys):
+        desc = phys.describe()
+        assert {d["name"] for d in desc} == {"dram", "flash"}

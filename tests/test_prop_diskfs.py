@@ -1,0 +1,86 @@
+"""Property-based tests: the conventional FS against the same model.
+
+The on-device layout (inode table, bitmap, indirect blocks, dirent
+blocks) plus the write-back cache must still be indistinguishable from a
+dict of bytearrays, including across cache crashes after sync.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import DRAM, MagneticDisk
+from repro.fs import BufferCache, ConventionalFileSystem, DiskBlockDevice, mkfs
+from repro.sim import SimClock
+
+KB = 1024
+MB = 1024 * 1024
+
+FILES = ["/a", "/b", "/c"]
+
+
+@st.composite
+def fs_ops(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 40))):
+        kind = draw(st.sampled_from(["write", "write", "read", "truncate", "delete"]))
+        path = draw(st.sampled_from(FILES))
+        if kind == "write":
+            offset = draw(st.integers(0, 60 * KB))  # crosses into indirects
+            length = draw(st.integers(1, 6 * KB))
+            fill = draw(st.integers(0, 255))
+            ops.append(("write", path, offset, bytes([fill]) * length))
+        elif kind == "read":
+            ops.append(("read", path, draw(st.integers(0, 70 * KB)), draw(st.integers(0, 8 * KB))))
+        elif kind == "truncate":
+            ops.append(("truncate", path, draw(st.integers(0, 70 * KB)), None))
+        else:
+            ops.append(("delete", path, 0, None))
+    return ops
+
+
+@given(fs_ops(), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_diskfs_matches_model(ops, crash_after_sync):
+    clock = SimClock()
+    disk = MagneticDisk(24 * MB)
+    cache = BufferCache(DiskBlockDevice(disk, clock), clock, 64, dram=DRAM(MB))
+    layout = mkfs(cache, ninodes=32)
+    fs = ConventionalFileSystem(cache, layout)
+    model = {}
+
+    for kind, path, offset, arg in ops:
+        exists = path in model
+        if kind == "write":
+            if not exists:
+                fs.create(path)
+                model[path] = bytearray()
+            buf = model[path]
+            if len(buf) < offset:
+                buf.extend(bytes(offset - len(buf)))
+            end = offset + len(arg)
+            if len(buf) < end:
+                buf.extend(bytes(end - len(buf)))
+            buf[offset:end] = arg
+            fs.write(path, offset, arg)
+        elif kind == "read" and exists:
+            expected = bytes(model[path][offset : offset + arg])
+            assert fs.read(path, offset, arg) == expected
+        elif kind == "truncate" and exists:
+            fs.truncate(path, offset)
+            buf = model[path]
+            if offset <= len(buf):
+                del buf[offset:]
+            else:
+                buf.extend(bytes(offset - len(buf)))
+        elif kind == "delete" and exists:
+            fs.delete(path)
+            del model[path]
+
+    fs.sync()
+    if crash_after_sync:
+        cache.crash()
+        fs = ConventionalFileSystem(cache)  # remount from the device
+    for path, buf in model.items():
+        assert fs.read(path, 0, len(buf) + 64) == bytes(buf)
+        assert fs.stat(path).size == len(buf)
+    for path in FILES:
+        assert fs.exists(path) == (path in model)

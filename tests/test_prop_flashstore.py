@@ -1,0 +1,109 @@
+"""Property-based tests for the log-structured flash store.
+
+Invariants under arbitrary write/overwrite/delete sequences:
+
+- the store behaves exactly like a dict (latest version wins, deletes
+  remove, misses raise), regardless of cleaning and wear activity;
+- allocator accounting stays consistent (checked via check_invariants);
+- no logical block is ever silently lost by the cleaner.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import FlashMemory
+from repro.devices.catalog import FLASH_PAPER_NOMINAL
+from repro.sim import SimClock
+from repro.storage import CleaningPolicy, FlashStore, StoreMode, WearPolicy
+
+KB = 1024
+
+
+@st.composite
+def store_ops(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 120))):
+        kind = draw(st.sampled_from(["write", "write", "write", "delete", "tick"]))
+        key = draw(st.integers(0, 7))
+        if kind == "write":
+            length = draw(st.integers(1, 3 * KB))
+            fill = draw(st.integers(0, 255))
+            ops.append(("write", key, bytes([fill]) * length))
+        elif kind == "delete":
+            ops.append(("delete", key, b""))
+        else:
+            ops.append(("tick", 0, b""))
+    return ops
+
+
+@given(
+    store_ops(),
+    st.sampled_from(list(WearPolicy)),
+    st.sampled_from(list(CleaningPolicy)),
+)
+@settings(max_examples=40, deadline=None)
+def test_store_behaves_like_dict(ops, wear, cleaning):
+    clock = SimClock()
+    flash = FlashMemory(96 * KB, spec=FLASH_PAPER_NOMINAL, banks=2)
+    store = FlashStore(flash, clock, wear=wear, cleaning=cleaning, free_target_sectors=2)
+    model = {}
+    for kind, key, payload in ops:
+        if kind == "write":
+            store.write_block(key, payload)
+            model[key] = payload
+        elif kind == "delete":
+            if key in model:
+                store.delete_block(key)
+                del model[key]
+        else:
+            clock.advance(10.0)
+    for key, payload in model.items():
+        assert store.read_block(key) == payload
+    for key in range(8):
+        assert store.contains(key) == (key in model)
+    store.allocator.check_invariants()
+    live = store.allocator.total_live_bytes
+    summary_overhead = len(model) * store.allocator.summary_entry_bytes
+    assert live == sum(len(v) for v in model.values()) + summary_overhead
+
+
+@given(store_ops())
+@settings(max_examples=25, deadline=None)
+def test_in_place_store_behaves_like_dict(ops):
+    clock = SimClock()
+    flash = FlashMemory(96 * KB, spec=FLASH_PAPER_NOMINAL, banks=1)
+    store = FlashStore(flash, clock, mode=StoreMode.IN_PLACE, in_place_slot_bytes=4 * KB)
+    model = {}
+    for kind, key, payload in ops:
+        if kind == "write":
+            store.write_block(key, payload)
+            model[key] = payload
+        elif kind == "delete":
+            if key in model:
+                store.delete_block(key)
+                del model[key]
+        else:
+            clock.advance(10.0)
+    for key, payload in model.items():
+        assert store.read_block(key) == payload
+
+
+@given(st.integers(0, 2**32), st.integers(2, 6))
+@settings(max_examples=20, deadline=None)
+def test_cleaning_preserves_every_block_under_pressure(seed, hot_keys):
+    from repro.sim.rand import RandomStream
+
+    rng = RandomStream(seed)
+    clock = SimClock()
+    flash = FlashMemory(128 * KB, spec=FLASH_PAPER_NOMINAL, banks=2)
+    store = FlashStore(flash, clock, free_target_sectors=2)
+    model = {}
+    for i in range(300):
+        key = rng.randint(0, hot_keys)
+        payload = bytes([i & 0xFF]) * rng.randint(512, 2048)
+        store.write_block(key, payload)
+        model[key] = payload
+        clock.advance(1.0)
+    assert store.cleaning_stats.sectors_cleaned > 0, "pressure should force cleaning"
+    for key, payload in model.items():
+        assert store.read_block(key) == payload
+    store.allocator.check_invariants()

@@ -1,0 +1,128 @@
+"""Unit tests for counters, histograms, and time-weighted gauges."""
+
+import pytest
+
+from repro.sim import Counter, Histogram, StatRegistry, TimeWeightedValue
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("ops")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        c = Counter("ops")
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+    def test_reset(self):
+        c = Counter("ops")
+        c.add(10)
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_mean_min_max(self):
+        h = Histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            h.record(v)
+        assert h.mean == pytest.approx(2.0)
+        assert h.minimum == 1.0
+        assert h.maximum == 3.0
+        assert h.count == 3
+
+    def test_percentiles(self):
+        h = Histogram("lat")
+        for v in range(1, 101):
+            h.record(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(95) == pytest.approx(95.05)
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram("lat")
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_decimation_preserves_aggregates(self):
+        h = Histogram("lat", max_samples=64)
+        for v in range(1000):
+            h.record(float(v))
+        # Exact aggregates survive decimation.
+        assert h.count == 1000
+        assert h.mean == pytest.approx(499.5)
+        assert h.maximum == 999.0
+        # Percentiles stay approximately right.
+        assert h.percentile(50) == pytest.approx(500, abs=60)
+
+    def test_summary_keys(self):
+        h = Histogram("lat")
+        h.record(1.0)
+        summary = h.summary()
+        assert set(summary) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+
+
+class TestTimeWeightedValue:
+    def test_constant_value(self):
+        g = TimeWeightedValue("occ")
+        g.set(10.0, now=0.0)
+        assert g.average(now=5.0) == pytest.approx(10.0)
+
+    def test_step_function(self):
+        g = TimeWeightedValue("occ")
+        g.set(0.0, now=0.0)
+        g.set(10.0, now=5.0)  # 0 for 5s, then 10 for 5s
+        assert g.average(now=10.0) == pytest.approx(5.0)
+
+    def test_peak(self):
+        g = TimeWeightedValue("occ")
+        g.set(3.0, now=1.0)
+        g.set(7.0, now=2.0)
+        g.set(2.0, now=3.0)
+        assert g.peak == 7.0
+
+    def test_time_backwards_rejected(self):
+        g = TimeWeightedValue("occ")
+        g.set(1.0, now=5.0)
+        with pytest.raises(ValueError):
+            g.set(2.0, now=4.0)
+
+    def test_add(self):
+        g = TimeWeightedValue("occ")
+        g.add(5.0, now=0.0)
+        g.add(-2.0, now=1.0)
+        assert g.current == 3.0
+
+
+class TestStatRegistry:
+    def test_idempotent_creation(self):
+        reg = StatRegistry("dev")
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("b") is reg.histogram("b")
+
+    def test_snapshot_shape(self):
+        reg = StatRegistry("dev")
+        reg.counter("ops").add(3)
+        reg.histogram("lat").record(0.5)
+        reg.gauge("occ").set(2.0, 1.0)
+        snap = reg.snapshot(now=2.0)
+        assert snap["name"] == "dev"
+        assert snap["counters"]["ops"] == 3
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert snap["gauges"]["occ"]["peak"] == 2.0
+
+    def test_reset(self):
+        reg = StatRegistry("dev")
+        reg.counter("ops").add(3)
+        reg.reset()
+        assert reg.counter("ops").value == 0

@@ -1,0 +1,217 @@
+"""Unit tests for the log-structured flash store: logging, GC, wear, banks."""
+
+import pytest
+
+from repro.devices import FlashMemory
+from repro.devices.catalog import FLASH_PAPER_NOMINAL
+from repro.sim import SimClock
+from repro.storage import (
+    BankPartition,
+    CleaningPolicy,
+    FlashStore,
+    OutOfFlashSpace,
+    StoreMode,
+    WearPolicy,
+)
+
+KB = 1024
+
+
+def make_store(capacity=64 * KB, banks=1, **kwargs) -> FlashStore:
+    clock = SimClock()
+    flash = FlashMemory(capacity, spec=FLASH_PAPER_NOMINAL, banks=banks)
+    return FlashStore(flash, clock, **kwargs)
+
+
+class TestBasicOps:
+    def test_write_read_roundtrip(self):
+        store = make_store()
+        store.write_block("a", b"block data")
+        assert store.read_block("a") == b"block data"
+
+    def test_overwrite_returns_latest(self):
+        store = make_store()
+        store.write_block("a", b"old version!")
+        store.write_block("a", b"new version!")
+        assert store.read_block("a") == b"new version!"
+
+    def test_overwrite_is_out_of_place(self):
+        store = make_store()
+        store.write_block("a", b"v1")
+        loc1 = store._index["a"]
+        store.write_block("a", b"v2")
+        loc2 = store._index["a"]
+        assert (loc1.sector, loc1.offset) != (loc2.sector, loc2.offset)
+        # No erase needed for the overwrite itself.
+        assert store.flash.total_erases == 0
+
+    def test_delete(self):
+        store = make_store()
+        store.write_block("a", b"data")
+        store.delete_block("a")
+        assert not store.contains("a")
+        with pytest.raises(KeyError):
+            store.read_block("a")
+
+    def test_empty_block_rejected(self):
+        store = make_store()
+        with pytest.raises(ValueError):
+            store.write_block("a", b"")
+
+    def test_oversized_block_rejected(self):
+        store = make_store()
+        too_big = store.flash.sector_bytes  # summary entry no longer fits
+        with pytest.raises(ValueError):
+            store.write_block("a", b"x" * too_big)
+
+    def test_many_distinct_blocks(self):
+        store = make_store(capacity=256 * KB)
+        blobs = {i: bytes([i]) * 1000 for i in range(50)}
+        for key, blob in blobs.items():
+            store.write_block(key, blob)
+        for key, blob in blobs.items():
+            assert store.read_block(key) == blob
+
+
+class TestCleaning:
+    def test_gc_reclaims_dead_space(self):
+        store = make_store(capacity=64 * KB, free_target_sectors=2)
+        # Working set of 4 blocks x 2 KB; rewrite far more than capacity.
+        for i in range(200):
+            store.write_block(i % 4, bytes([i % 256]) * (2 * KB))
+        assert store.cleaning_stats.sectors_cleaned > 0
+        for i in range(4):
+            assert len(store.read_block(i)) == 2 * KB
+        store.allocator.check_invariants()
+
+    def test_gc_preserves_live_data(self):
+        store = make_store(capacity=64 * KB, free_target_sectors=2)
+        store.write_block("pinned", b"\x42" * (3 * KB))
+        for i in range(300):
+            store.write_block("churn", bytes([i % 256]) * (3 * KB))
+        assert store.read_block("pinned") == b"\x42" * (3 * KB)
+
+    def test_out_of_space_when_truly_full(self):
+        store = make_store(capacity=32 * KB, free_target_sectors=2)
+        with pytest.raises(OutOfFlashSpace):
+            for i in range(20):
+                store.write_block(("live", i), b"z" * (4 * KB))
+
+    def test_write_amplification_tracked(self):
+        store = make_store(capacity=64 * KB, free_target_sectors=2)
+        for i in range(300):
+            store.write_block(i % 6, bytes([i % 256]) * (2 * KB))
+        assert store.write_amplification() >= 1.0
+
+    @pytest.mark.parametrize(
+        "policy",
+        [CleaningPolicy.GREEDY, CleaningPolicy.COST_BENEFIT, CleaningPolicy.GENERATIONAL],
+    )
+    def test_all_policies_survive_churn(self, policy):
+        store = make_store(capacity=64 * KB, cleaning=policy, free_target_sectors=2)
+        for i in range(250):
+            store.write_block(i % 5, bytes([i % 256]) * (2 * KB))
+            if i % 50 == 0:
+                store.clock.advance(10.0)
+        for i in range(5):
+            assert store.read_block(i)
+        store.allocator.check_invariants()
+
+
+class TestWearPolicies:
+    def _churn(self, store, rounds=400):
+        for i in range(rounds):
+            store.write_block(i % 3, bytes([i % 256]) * (2 * KB))
+
+    def test_dynamic_beats_none_on_wear_spread(self):
+        worn = {}
+        for policy in (WearPolicy.NONE, WearPolicy.DYNAMIC):
+            store = make_store(capacity=64 * KB, wear=policy, free_target_sectors=2)
+            self._churn(store)
+            worn[policy] = store.flash.wear_summary()["wear_cov"]
+        assert worn[WearPolicy.DYNAMIC] <= worn[WearPolicy.NONE]
+
+    def test_static_rotation_triggers(self):
+        store = make_store(
+            capacity=256 * KB,
+            wear=WearPolicy.STATIC,
+            wear_gap_threshold=4,
+            free_target_sectors=2,
+        )
+        # Pin fully-live cold sectors (no dead bytes -> the cleaner never
+        # touches them), then churn hot data to open a wear gap.
+        sector = store.flash.sector_bytes
+        cold_payload = b"c" * (sector - 2 * 64)
+        for i in range(8):
+            store.write_block(("cold", i), cold_payload, hot=False)
+        self._churn(store, rounds=800)
+        assert store.stats.counter("static_rotations").value > 0
+        for i in range(8):
+            assert store.read_block(("cold", i)) == cold_payload
+
+
+class TestBankPartitioning:
+    def test_hot_and_cold_go_to_different_banks(self):
+        clock = SimClock()
+        flash = FlashMemory(128 * KB, spec=FLASH_PAPER_NOMINAL, banks=4)
+        partition = BankPartition(flash, write_banks=2)
+        store = FlashStore(flash, clock, partition=partition)
+        store.write_block("hot", b"h" * KB, hot=True)
+        store.write_block("cold", b"c" * KB, hot=False)
+        hot_bank = flash.bank_of_sector(store._index["hot"].sector)
+        cold_bank = flash.bank_of_sector(store._index["cold"].sector)
+        assert hot_bank in partition.write_pool
+        assert cold_bank in partition.read_mostly_pool
+
+    def test_invalid_partition_rejected(self):
+        flash = FlashMemory(128 * KB, spec=FLASH_PAPER_NOMINAL, banks=4)
+        with pytest.raises(ValueError):
+            BankPartition(flash, write_banks=0)
+        with pytest.raises(ValueError):
+            BankPartition(flash, write_banks=5)
+
+    def test_unpartitioned_single_pool(self):
+        flash = FlashMemory(128 * KB, spec=FLASH_PAPER_NOMINAL, banks=4)
+        partition = BankPartition.unpartitioned(flash)
+        assert not partition.partitioned
+        assert partition.pool_for(hot=True) == partition.pool_for(hot=False)
+
+
+class TestInPlaceMode:
+    def test_roundtrip(self):
+        store = make_store(mode=StoreMode.IN_PLACE)
+        store.write_block("a", b"direct")
+        assert store.read_block("a") == b"direct"
+
+    def test_overwrite_erases_in_place(self):
+        store = make_store(mode=StoreMode.IN_PLACE)
+        store.write_block("a", b"v1")
+        erases_before = store.flash.total_erases
+        store.write_block("a", b"v2")
+        assert store.flash.total_erases == erases_before + 1
+        assert store.read_block("a") == b"v2"
+
+    def test_neighbors_survive_sector_rewrite(self):
+        store = make_store(mode=StoreMode.IN_PLACE, in_place_slot_bytes=1024)
+        # 4 slots per 4 KB sector: a,b,c,d share sector 0.
+        for key in "abcd":
+            store.write_block(key, key.encode() * 512)
+        store.write_block("b", b"B" * 512)
+        assert store.read_block("a") == b"a" * 512
+        assert store.read_block("b") == b"B" * 512
+        assert store.read_block("d") == b"d" * 512
+
+    def test_hot_spot_wears_one_sector(self):
+        store = make_store(mode=StoreMode.IN_PLACE)
+        for i in range(50):
+            store.write_block("hot", bytes([i]) * 100)
+        summary = store.flash.wear_summary()
+        assert summary["max_erases"] >= 49
+        assert summary["min_erases"] == 0
+
+    def test_capacity_exhaustion(self):
+        store = make_store(capacity=32 * KB, mode=StoreMode.IN_PLACE)
+        for i in range(8):  # 8 sectors x 1 slot of 4 KB
+            store.write_block(i, b"x" * 4096)
+        with pytest.raises(OutOfFlashSpace):
+            store.write_block("overflow", b"x")

@@ -1,0 +1,142 @@
+"""Unit tests for the StorageManager facade and hot/cold tracker."""
+
+import pytest
+
+from repro.devices import DRAM, FlashMemory
+from repro.devices.catalog import FLASH_PAPER_NOMINAL
+from repro.sim import Engine, SimClock
+from repro.storage import HotColdTracker, StorageManager, Temperature
+
+KB = 1024
+
+
+@pytest.fixture
+def manager():
+    clock = SimClock()
+    flash = FlashMemory(256 * KB, spec=FLASH_PAPER_NOMINAL, banks=2)
+    dram = DRAM(1024 * KB)
+    return StorageManager.build(clock, flash, dram=dram, buffer_bytes=16 * KB)
+
+
+class TestDataPath:
+    def test_write_read_through_buffer(self, manager):
+        manager.write_block("k", b"buffered")
+        assert manager.read_block("k") == b"buffered"
+        assert not manager.in_flash("k")  # still only in DRAM
+
+    def test_sync_makes_stable(self, manager):
+        manager.write_block("k", b"now stable")
+        manager.sync()
+        assert manager.in_flash("k")
+        assert manager.read_block("k") == b"now stable"
+
+    def test_sync_key(self, manager):
+        manager.write_block("a", b"1")
+        manager.write_block("b", b"2")
+        assert manager.sync_key("a")
+        assert manager.in_flash("a")
+        assert not manager.in_flash("b")
+        assert not manager.sync_key("a")  # already clean
+
+    def test_delete_before_flush_avoids_flash_write(self, manager):
+        manager.write_block("temp", b"t" * KB)
+        manager.delete_block("temp")
+        manager.sync()
+        assert manager.store.stats.counter("user_bytes_written").value == 0
+        assert not manager.contains("temp")
+
+    def test_delete_after_flush_invalidates_flash(self, manager):
+        manager.write_block("k", b"data")
+        manager.sync()
+        manager.delete_block("k")
+        assert not manager.contains("k")
+
+    def test_read_missing_raises(self, manager):
+        with pytest.raises(KeyError):
+            manager.read_block("ghost")
+
+    def test_overwrites_absorbed_reduce_traffic(self, manager):
+        for i in range(20):
+            manager.write_block("hot", bytes([i]) * KB)
+        manager.sync()
+        # 20 KB written by the app, 1 KB reached flash.
+        assert manager.write_traffic_reduction() == pytest.approx(0.95)
+
+
+class TestTimerFlush(object):
+    def test_age_flush_via_engine(self):
+        engine = Engine()
+        flash = FlashMemory(256 * KB, spec=FLASH_PAPER_NOMINAL)
+        manager = StorageManager.build(engine.clock, flash, buffer_bytes=64 * KB)
+        manager.buffer.age_limit_s = 10.0
+        manager.attach_flush_timer(engine, interval_s=5.0)
+        manager.write_block("k", b"will age out")
+        engine.run_until(4.0)
+        assert not manager.in_flash("k")
+        engine.run_until(20.0)
+        assert manager.in_flash("k")
+
+
+class TestPowerLoss:
+    def test_buffered_data_lost(self, manager):
+        manager.write_block("dirty", b"d" * KB)
+        lost = manager.power_loss()
+        assert lost == KB
+        assert not manager.contains("dirty")
+
+    def test_flushed_data_survives(self, manager):
+        manager.write_block("safe", b"s" * KB)
+        manager.sync()
+        lost = manager.power_loss()
+        assert lost == 0
+        assert manager.read_block("safe") == b"s" * KB
+
+    def test_shutdown_flush_prevents_loss(self, manager):
+        manager.write_block("k", b"x" * KB)
+        manager.shutdown_flush()
+        assert manager.power_loss() == 0
+        assert manager.in_flash("k")
+
+
+class TestHotColdTracker:
+    def test_new_key_is_cold(self):
+        t = HotColdTracker()
+        assert t.classify("k", now=0.0) is Temperature.COLD
+
+    def test_repeated_writes_make_hot(self):
+        t = HotColdTracker(half_life_s=60.0, hot_threshold=1.5)
+        for i in range(4):
+            t.record_write("k", now=float(i))
+        assert t.classify("k", now=4.0) is Temperature.HOT
+
+    def test_heat_decays(self):
+        t = HotColdTracker(half_life_s=10.0, hot_threshold=1.5)
+        for i in range(4):
+            t.record_write("k", now=float(i))
+        assert t.is_hot("k", now=4.0)
+        assert not t.is_hot("k", now=200.0)
+
+    def test_forget(self):
+        t = HotColdTracker()
+        t.record_write("k", 0.0)
+        t.forget("k")
+        assert t.score("k", 0.0) == 0.0
+
+    def test_hottest_ordering(self):
+        t = HotColdTracker()
+        t.record_write("cold", 0.0)
+        for i in range(5):
+            t.record_write("hot", float(i))
+        ranked = t.hottest(now=5.0)
+        assert ranked[0][0] == "hot"
+
+    def test_prune(self):
+        t = HotColdTracker(half_life_s=1.0)
+        t.record_write("old", 0.0)
+        t.record_write("new", 99.0)
+        assert t.prune(now=100.0) == 1
+        assert t.tracked_keys() == 1
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ValueError):
+            HotColdTracker(half_life_s=0.0)

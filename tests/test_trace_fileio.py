@@ -1,0 +1,87 @@
+"""Unit tests for trace save/load."""
+
+import io
+
+import pytest
+
+from repro.trace import OpType, TraceRecord, generate_workload
+from repro.trace.fileio import (
+    TraceParseError,
+    dump_trace,
+    load_trace,
+    parse_trace,
+    save_trace,
+)
+
+
+def roundtrip(records):
+    buf = io.StringIO()
+    dump_trace(records, buf)
+    buf.seek(0)
+    return list(parse_trace(buf))
+
+
+class TestRoundTrip:
+    def test_generated_workload_roundtrips(self):
+        for name in ("office", "exec_heavy"):
+            trace = generate_workload(name, seed=4, duration_s=30.0)
+            # Times are written with us precision; compare field-wise.
+            back = roundtrip(trace)
+            assert len(back) == len(trace)
+            for a, b in zip(trace, back):
+                assert a.op == b.op
+                assert a.path == b.path
+                assert a.offset == b.offset
+                assert a.nbytes == b.nbytes
+                assert a.new_path == b.new_path
+                assert a.program == b.program
+                assert b.time == pytest.approx(a.time, abs=1e-5)
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = generate_workload("pim", seed=1, duration_s=20.0)
+        path = str(tmp_path / "trace.tsv")
+        assert save_trace(trace, path) == len(trace)
+        assert len(load_trace(path)) == len(trace)
+
+    def test_rename_and_exec_fields(self):
+        records = [
+            TraceRecord(0.5, OpType.RENAME, "/a", new_path="/b"),
+            TraceRecord(1.0, OpType.EXEC, "/", program="editor"),
+        ]
+        back = roundtrip(records)
+        assert back[0].new_path == "/b"
+        assert back[1].program == "editor"
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\n0.000000\tsync\t/\n"
+        assert len(list(parse_trace(io.StringIO(text)))) == 1
+
+
+class TestParseErrors:
+    def test_too_few_fields(self):
+        with pytest.raises(TraceParseError):
+            list(parse_trace(io.StringIO("1.0\tread\n")))
+
+    def test_unknown_op(self):
+        with pytest.raises(TraceParseError):
+            list(parse_trace(io.StringIO("1.0\tdefrag\t/f\n")))
+
+    def test_bad_number(self):
+        with pytest.raises(TraceParseError):
+            list(parse_trace(io.StringIO("1.0\tread\t/f\tx\ty\n")))
+
+    def test_missing_rename_target(self):
+        with pytest.raises(TraceParseError):
+            list(parse_trace(io.StringIO("1.0\trename\t/f\n")))
+
+    def test_missing_io_range(self):
+        with pytest.raises(TraceParseError):
+            list(parse_trace(io.StringIO("1.0\twrite\t/f\n")))
+
+    def test_error_carries_line_number(self):
+        try:
+            list(parse_trace(io.StringIO("0.0\tsync\t/\nbroken\n")))
+        except TraceParseError as exc:
+            assert exc.line_number == 2
+        else:  # pragma: no cover
+            pytest.fail("expected TraceParseError")

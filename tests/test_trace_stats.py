@@ -1,0 +1,95 @@
+"""Tests for trace statistics and generator calibration.
+
+These lock the synthetic generator to the published statistics the
+paper's write-buffer claim depends on (Baker '91 / Ousterhout '85); a
+generator change that drifts out of the windows fails here rather than
+silently skewing experiment E3.
+"""
+
+import pytest
+
+from repro.trace import OpType, TraceRecord, generate_workload
+from repro.trace.stats import (
+    OFFICE_TARGETS,
+    TraceStats,
+    analyze_trace,
+    calibration_report,
+)
+
+
+class TestAnalyzer:
+    def test_overwrite_lifetime(self):
+        records = [
+            TraceRecord(0.0, OpType.CREATE, "/f"),
+            TraceRecord(1.0, OpType.WRITE, "/f", offset=0, nbytes=100),
+            TraceRecord(11.0, OpType.WRITE, "/f", offset=0, nbytes=100),
+        ]
+        stats = analyze_trace(records)
+        assert stats.byte_lifetimes == [(10.0, 100)]
+        assert stats.surviving_bytes == 100
+        assert stats.overwrite_bytes == 100
+
+    def test_delete_kills_bytes(self):
+        records = [
+            TraceRecord(0.0, OpType.CREATE, "/f"),
+            TraceRecord(2.0, OpType.WRITE, "/f", offset=0, nbytes=5000),
+            TraceRecord(7.0, OpType.DELETE, "/f"),
+        ]
+        stats = analyze_trace(records)
+        assert stats.surviving_bytes == 0
+        assert sum(n for _, n in stats.byte_lifetimes) == 5000
+        assert all(life == 5.0 for life, _ in stats.byte_lifetimes)
+
+    def test_truncate_kills_tail_only(self):
+        records = [
+            TraceRecord(0.0, OpType.CREATE, "/f"),
+            TraceRecord(1.0, OpType.WRITE, "/f", offset=0, nbytes=3 * 4096),
+            TraceRecord(5.0, OpType.TRUNCATE, "/f", nbytes=4096),
+        ]
+        stats = analyze_trace(records)
+        assert stats.surviving_bytes == 4096
+        assert sum(n for _, n in stats.byte_lifetimes) == 2 * 4096
+
+    def test_rename_preserves_lifetimes(self):
+        records = [
+            TraceRecord(0.0, OpType.CREATE, "/a"),
+            TraceRecord(1.0, OpType.WRITE, "/a", offset=0, nbytes=64),
+            TraceRecord(2.0, OpType.RENAME, "/a", new_path="/b"),
+            TraceRecord(9.0, OpType.DELETE, "/b"),
+        ]
+        stats = analyze_trace(records)
+        assert stats.byte_lifetimes == [(8.0, 64)]
+
+    def test_dead_fraction_bounds(self):
+        stats = TraceStats()
+        assert stats.dead_fraction_within(30.0) == 0.0
+        stats.byte_lifetimes = [(5.0, 100)]
+        stats.surviving_bytes = 100
+        assert stats.dead_fraction_within(30.0) == pytest.approx(0.5)
+        assert stats.dead_fraction_within(1.0) == 0.0
+
+
+class TestCalibration:
+    def test_office_meets_baker_targets(self):
+        trace = generate_workload("office", seed=1, duration_s=600.0)
+        report = calibration_report(analyze_trace(trace), OFFICE_TARGETS)
+        assert report["all_ok"], report
+
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_calibration_stable_across_seeds(self, seed):
+        trace = generate_workload("office", seed=seed, duration_s=400.0)
+        stats = analyze_trace(trace)
+        assert 0.5 < stats.dead_fraction_within(30.0) < 0.9
+
+    def test_compile_dies_even_younger(self):
+        office = analyze_trace(generate_workload("office", seed=2, duration_s=400.0))
+        compile_ = analyze_trace(generate_workload("compile", seed=2, duration_s=400.0))
+        assert compile_.dead_fraction_within(30.0) > office.dead_fraction_within(30.0)
+
+    def test_database_has_little_death(self):
+        db = analyze_trace(generate_workload("database", seed=2, duration_s=400.0))
+        office = analyze_trace(generate_workload("office", seed=2, duration_s=400.0))
+        # Random record updates overwrite *blocks* rarely per block and
+        # never delete: survival is much higher than office.
+        assert db.files_deleted == 0
+        assert db.dead_fraction_within(30.0) < office.dead_fraction_within(30.0)

@@ -1,0 +1,117 @@
+"""Unit tests for the trend model and the power model."""
+
+import pytest
+
+from repro.devices import DRAM, BatteryBank, MagneticDisk
+from repro.power import PowerModel
+from repro.sim import Engine
+from repro.trends import TrendLine, crossover_year, default_trends_1993
+from repro.trends.model import SmallConfigCostModel
+
+MB = 1024 * 1024
+
+
+class TestTrendLine:
+    def test_compounding(self):
+        line = TrendLine("x", 1993, 100.0, 0.40)
+        assert line.value(1993) == 100.0
+        assert line.value(1994) == pytest.approx(140.0)
+        assert line.value(1995) == pytest.approx(196.0)
+
+    def test_series(self):
+        line = TrendLine("x", 1993, 1.0, 0.25)
+        series = line.series(1993, 1995)
+        assert [y for y, _ in series] == [1993, 1994, 1995]
+
+    def test_crossover_math(self):
+        slow = TrendLine("slow", 1993, 10.0, 0.25)
+        fast = TrendLine("fast", 1993, 1.0, 0.40)
+        year = crossover_year(fast, slow)
+        assert fast.value(year) == pytest.approx(slow.value(year), rel=1e-6)
+
+    def test_parallel_lines_never_cross(self):
+        a = TrendLine("a", 1993, 1.0, 0.40)
+        b = TrendLine("b", 1993, 2.0, 0.40)
+        with pytest.raises(ValueError):
+            crossover_year(a, b)
+
+
+class TestPaperTrends:
+    def test_density_crossover_mid_decade(self):
+        trends = default_trends_1993()
+        year = trends.dram_disk_density_crossover()
+        assert 1994 < year < 1997  # paper: "shortly exceed"
+
+    def test_dram_cost_gap_closes(self):
+        trends = default_trends_1993()
+        gap_1993 = (1 / trends.disk_mb_per_dollar.value(1993)) / (
+            1 / trends.dram_mb_per_dollar.value(1993)
+        )
+        year = trends.dram_disk_cost_crossover()
+        assert gap_1993 < 0.15  # DRAM ~10x costlier in 1993
+        assert year > 2000  # comparable, but not soon at 40/25 rates
+
+    def test_40mb_parity_matches_paper_1996(self):
+        model = SmallConfigCostModel()
+        assert 1995.5 < model.parity_year(40.0) < 1997.5
+
+    def test_parity_earlier_for_smaller_configs(self):
+        model = SmallConfigCostModel()
+        assert model.parity_year(20.0) < model.parity_year(100.0)
+
+    def test_cost_tables_monotone_decreasing(self):
+        trends = default_trends_1993()
+        table = trends.cost_table(1993, 1998)
+        for a, b in zip(table, table[1:]):
+            assert b["dram_dollars_per_mb"] < a["dram_dollars_per_mb"]
+            assert b["disk_dollars_per_mb"] < a["disk_dollars_per_mb"]
+
+
+class TestPowerModel:
+    def test_settle_charges_battery(self):
+        dram = DRAM(4 * MB)
+        battery = BatteryBank(1000.0, 0.0)
+        model = PowerModel([dram], battery=battery)
+        dram.write(0, b"x" * 4096, 0.0)
+        drawn = model.settle(10.0)
+        assert drawn > 0
+        assert battery.remaining_joules() == pytest.approx(1000.0 - drawn)
+
+    def test_settle_idempotent(self):
+        dram = DRAM(4 * MB)
+        model = PowerModel([dram])
+        model.settle(5.0)
+        assert model.settle(5.0) == 0.0
+
+    def test_base_load(self):
+        model = PowerModel([], base_load_watts=2.0)
+        assert model.settle(10.0) == pytest.approx(20.0)
+
+    def test_idle_disk_cheaper_than_spinning(self):
+        disk_idle = MagneticDisk(8 * MB, spin_down_timeout_s=1.0)
+        disk_spin = MagneticDisk(8 * MB, spin_down_timeout_s=1e9)
+        disk_idle.read(0, 512, 0.0)
+        disk_spin.read(0, 512, 0.0)
+        m1 = PowerModel([disk_idle])
+        m2 = PowerModel([disk_spin])
+        assert m1.settle(600.0) < m2.settle(600.0)
+
+    def test_timer_settles_periodically(self):
+        engine = Engine()
+        dram = DRAM(4 * MB)
+        battery = BatteryBank(1_000_000.0, 0.0)
+        model = PowerModel([dram], battery=battery)
+        model.attach_timer(engine, interval_s=1.0)
+        engine.run_until(10.0)
+        assert battery.total_drawn_joules > 0
+
+    def test_breakdown_splits_active_idle(self):
+        dram = DRAM(4 * MB)
+        model = PowerModel([dram])
+        dram.write(0, b"x" * 4096, 0.0)
+        breakdown = model.breakdown(100.0)
+        assert breakdown.active["dram"] > 0
+        assert breakdown.idle["dram"] > 0
+        assert breakdown.total == pytest.approx(
+            breakdown.active["dram"] + breakdown.idle["dram"]
+        )

@@ -1,0 +1,90 @@
+"""Unit tests for the canned workload profiles and their signatures."""
+
+import pytest
+
+from repro.trace import OpType, WORKLOADS, generate_workload
+from repro.trace.model import validate_trace
+from repro.trace.workloads import compile_profile, database_profile, office_profile
+
+
+class TestRegistry:
+    def test_six_workloads_registered(self):
+        assert set(WORKLOADS) == {
+            "office",
+            "pim",
+            "exec_heavy",
+            "database",
+            "compile",
+            "sequential_media",
+        }
+
+    def test_all_profiles_validate(self):
+        for factory in WORKLOADS.values():
+            factory().validate()  # type: ignore[operator]
+
+    def test_all_generate_valid_traces(self):
+        for name in WORKLOADS:
+            trace = generate_workload(name, seed=2, duration_s=30.0)
+            validate_trace(trace)
+            assert trace, name
+
+
+def op_mix(trace):
+    counts = {}
+    for record in trace:
+        counts[record.op] = counts.get(record.op, 0) + 1
+    total = sum(counts.values())
+    return {op: n / total for op, n in counts.items()}
+
+
+class TestWorkloadSignatures:
+    """Each workload must actually have the character its docstring claims."""
+
+    def test_compile_is_temp_file_heavy(self):
+        trace = generate_workload("compile", seed=3, duration_s=300.0)
+        creates = [r for r in trace if r.op is OpType.CREATE and r.time > 0]
+        temps = [r for r in creates if "tmp" in r.path]
+        assert temps and len(temps) / len(creates) > 0.8
+        deletes = sum(1 for r in trace if r.op is OpType.DELETE)
+        assert deletes > len(temps) * 0.5  # objects die by the next rebuild
+
+    def test_compile_buffer_absorption_is_high(self):
+        # The claim behind the workload: compile traffic dies young, so
+        # the write buffer absorbs a large share.
+        from repro.core import MobileComputer, SystemConfig
+
+        MB = 1024 * 1024
+        machine = MobileComputer(SystemConfig(dram_bytes=6 * MB, flash_bytes=32 * MB))
+        _report, metrics = machine.run_workload("compile", duration_s=120.0)
+        assert metrics.write_traffic_reduction > 0.4
+
+    def test_database_lacks_locality(self):
+        trace = generate_workload("database", seed=3, duration_s=300.0)
+        writes = [r for r in trace if r.op is OpType.WRITE and r.time > 0]
+        at_zero = sum(1 for w in writes if w.offset == 0)
+        assert at_zero / len(writes) < 0.25  # random record updates
+
+    def test_media_appends(self):
+        trace = generate_workload("sequential_media", seed=3, duration_s=300.0)
+        writes = [r for r in trace if r.op is OpType.WRITE and r.time > 0]
+        mean_size = sum(w.nbytes for w in writes) / len(writes)
+        assert mean_size > 10_000  # large streaming I/O
+
+    def test_pim_is_small_and_slow(self):
+        office = generate_workload("office", seed=3, duration_s=120.0)
+        pim = generate_workload("pim", seed=3, duration_s=120.0)
+        assert len(pim) < len(office) / 2
+        pim_writes = [r.nbytes for r in pim if r.op is OpType.WRITE and r.time > 0]
+        office_writes = [r.nbytes for r in office if r.op is OpType.WRITE and r.time > 0]
+        assert (sum(pim_writes) / len(pim_writes)) < (
+            sum(office_writes) / len(office_writes)
+        )
+
+    def test_exec_heavy_launches(self):
+        mix = op_mix(generate_workload("exec_heavy", seed=3, duration_s=300.0))
+        assert mix.get(OpType.EXEC, 0) > 0.1
+
+    def test_profiles_differ_meaningfully(self):
+        assert office_profile().p_create_temp < compile_profile().p_create_temp
+        assert database_profile().p_sync > office_profile().p_sync
+        assert database_profile().file_select_skew < office_profile().file_select_skew
