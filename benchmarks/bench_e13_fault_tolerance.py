@@ -1,0 +1,16 @@
+"""Benchmark harness for experiment E13 (see DESIGN.md experiment index).
+
+Regenerates the E13 table via repro.analysis.experiments.e13_fault_tolerance
+and saves it to benchmarks/out/E13.txt.
+"""
+
+from repro.analysis.experiments import e13_fault_tolerance
+
+
+def test_e13_fault_tolerance(benchmark, save_result, quick):
+    result = benchmark.pedantic(
+        lambda: e13_fault_tolerance.run(quick=quick), rounds=1, iterations=1
+    )
+    assert result.rows, "E13 produced no rows"
+    assert result.extras["total_violations"] == 0, result.extras["violations"]
+    save_result(result)

@@ -1,4 +1,4 @@
-"""Experiment drivers E1-E12.
+"""Experiment drivers E1-E13.
 
 Each module exposes ``run(quick: bool = False, **kwargs) ->
 ExperimentResult``.  ``ALL_EXPERIMENTS`` maps experiment ids to drivers
@@ -19,6 +19,7 @@ from repro.analysis.experiments import (
     e10_sizing,
     e11_battery,
     e12_full_system,
+    e13_fault_tolerance,
     x01_compression,
     x02_flush_policy,
 )
@@ -37,6 +38,7 @@ ALL_EXPERIMENTS = {
     "E10": e10_sizing.run,
     "E11": e11_battery.run,
     "E12": e12_full_system.run,
+    "E13": e13_fault_tolerance.run,
     "X1": x01_compression.run,
     "X2": x02_flush_policy.run,
 }

@@ -7,7 +7,10 @@ Commands:
 - ``workloads``    -- list the available synthetic workloads.
 - ``run``          -- run one workload on one organization, print metrics.
 - ``compare``      -- run one workload on every organization, side by side.
-- ``experiment``   -- run one (or all) of the E1-E12 experiment drivers.
+- ``experiment``   -- run one (or all) of the E1-E13 experiment drivers.
+- ``torture``      -- crash-consistency torture: power-cut sweep plus
+  bit-flip and program-failure campaigns; exits non-zero on any
+  invariant violation.
 
 Everything prints plain ASCII tables; no flags produce files.
 """
@@ -185,6 +188,44 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_torture(args) -> int:
+    from repro.faults.torture import (
+        TortureConfig,
+        run_bit_flip_campaign,
+        run_program_failure_campaign,
+        run_torture,
+    )
+
+    if args.quick:
+        ops, cut_every, max_cuts, rounds = 150, 19, 12, 2
+    else:
+        ops, cut_every, max_cuts, rounds = 400, args.every, args.cuts, 4
+    cfg = TortureConfig(
+        mode=args.mode, ops=ops, seed=args.seed, cut_every=cut_every, max_cuts=max_cuts
+    )
+    try:
+        cfg.validate()
+    except ValueError as exc:
+        print(f"torture: {exc}", file=sys.stderr)
+        return 2
+    reports = [run_torture(cfg)]
+    if args.mode == "flashstore":
+        # Medium-corruption campaigns only make sense at the block layer,
+        # where ECC and retirement live.
+        reports.append(run_bit_flip_campaign(cfg, rounds=rounds))
+        reports.append(run_program_failure_campaign(cfg, rounds=rounds))
+    failures = 0
+    for report in reports:
+        print(report.render())
+        print()
+        failures += len(report.violations)
+    if failures:
+        print(f"TORTURE FAILED: {failures} invariant violations", file=sys.stderr)
+        return 1
+    print("torture passed: every run recovered with invariants intact")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -215,10 +256,21 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p = sub.add_parser("compare", help="run one workload on all organizations")
     add_machine_args(cmp_p)
 
-    exp_p = sub.add_parser("experiment", help="run experiment drivers (E1-E12)")
-    exp_p.add_argument("id", help="experiment id (E1..E12) or 'all'")
+    exp_p = sub.add_parser("experiment", help="run experiment drivers (E1-E13)")
+    exp_p.add_argument("id", help="experiment id (E1..E13) or 'all'")
     exp_p.add_argument("--full", action="store_true",
                        help="paper-length durations instead of quick mode")
+
+    tort_p = sub.add_parser("torture", help="crash-consistency torture harness")
+    tort_p.add_argument("--mode", default="flashstore", choices=["flashstore", "fsck"],
+                        help="torture the raw block store or a full FS over the FTL")
+    tort_p.add_argument("--seed", type=int, default=0)
+    tort_p.add_argument("--every", type=int, default=2,
+                        help="cut power at every Nth device operation (default 2)")
+    tort_p.add_argument("--cuts", type=int, default=None,
+                        help="cap the number of power-cut points (default: all)")
+    tort_p.add_argument("--quick", action="store_true",
+                        help="small sweep for CI smoke (a few seconds)")
     return parser
 
 
@@ -229,6 +281,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
+    "torture": _cmd_torture,
 }
 
 

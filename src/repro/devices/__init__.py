@@ -36,8 +36,11 @@ from repro.devices.disk import MagneticDisk
 from repro.devices.dram import DRAM
 from repro.devices.errors import (
     DeviceError,
+    EraseFailedError,
     OutOfRangeError,
+    PowerCutError,
     PowerLossError,
+    ProgramFailedError,
     WornOutError,
     WriteBeforeEraseError,
 )
@@ -70,4 +73,7 @@ __all__ = [
     "WornOutError",
     "WriteBeforeEraseError",
     "PowerLossError",
+    "ProgramFailedError",
+    "EraseFailedError",
+    "PowerCutError",
 ]

@@ -62,3 +62,52 @@ class PowerLossError(DeviceError):
         if detail:
             message = f"{message} ({detail})"
         super().__init__(message)
+
+
+class ProgramFailedError(DeviceError):
+    """A flash program operation failed at the device level.
+
+    Real flash parts report program failures via a status register;
+    transient failures succeed on retry, permanent ones mean the block
+    must be retired (Intel Series-2 data-sheet behaviour).
+    """
+
+    def __init__(self, device: str, sector: int, transient: bool) -> None:
+        kind = "transient" if transient else "permanent"
+        super().__init__(f"{device}: {kind} program failure in sector {sector}")
+        self.sector = sector
+        self.transient = transient
+
+
+class EraseFailedError(DeviceError):
+    """A flash erase operation failed at the device level."""
+
+    def __init__(self, device: str, sector: int, transient: bool) -> None:
+        kind = "transient" if transient else "permanent"
+        super().__init__(f"{device}: {kind} erase failure in sector {sector}")
+        self.sector = sector
+        self.transient = transient
+
+
+class PowerCutError(DeviceError):
+    """Power was cut mid-operation (fault injection).
+
+    Unlike :class:`PowerLossError` (device already unpowered), this fires
+    *during* an operation: ``torn_bytes`` of a program may have landed,
+    or an interrupted erase may have left the sector scrambled.
+    """
+
+    def __init__(
+        self,
+        device: str,
+        op_index: int,
+        torn_bytes: int = 0,
+        torn_erase: bool = False,
+    ) -> None:
+        super().__init__(
+            f"{device}: power cut at device op {op_index} "
+            f"(torn_bytes={torn_bytes}, torn_erase={torn_erase})"
+        )
+        self.op_index = op_index
+        self.torn_bytes = torn_bytes
+        self.torn_erase = torn_erase

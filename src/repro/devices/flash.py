@@ -107,6 +107,10 @@ class FlashMemory(StorageDevice):
         self.bank_states = [FlashBankState(i) for i in range(banks)]
         self._sectors = [_SectorState() for _ in range(self.num_sectors)]
         self._data = bytearray([ERASED_BYTE]) * capacity_bytes
+        # Optional fault-injection hook (see repro.faults.injector); when
+        # attached it may corrupt reads, fail programs/erases, or cut
+        # power mid-operation.
+        self.injector = None
         self.total_erases = 0
         self.worn_sector_count = 0
         # Moment (sim time, total erase count) the first sector exceeded
@@ -177,6 +181,9 @@ class FlashMemory(StorageDevice):
 
     def read(self, offset: int, nbytes: int, now: float) -> Tuple[bytes, AccessResult]:
         self.check_range(offset, nbytes)
+        if self.injector is not None:
+            # May flip stored bits (read disturb) or cut power mid-read.
+            self.injector.on_read(self, offset, nbytes)
         # A read spanning banks is serviced bank-by-bank in order.
         latency = 0.0
         wait = 0.0
@@ -211,6 +218,10 @@ class FlashMemory(StorageDevice):
         for sector, start, end in self._split_by_sector(offset, nbytes):
             if not self._sectors[sector].is_erased(start, end):
                 raise WriteBeforeEraseError(self.name, offset, nbytes)
+        if self.injector is not None:
+            # May raise ProgramFailedError (transient/permanent) or cut
+            # power mid-program, leaving a torn prefix in the medium.
+            self.injector.on_program(self, offset, data)
 
         latency = 0.0
         wait = 0.0
@@ -246,6 +257,10 @@ class FlashMemory(StorageDevice):
         """Erase one sector, charging wear against its endurance budget."""
         if not 0 <= sector < self.num_sectors:
             raise ValueError(f"sector {sector} outside device")
+        if self.injector is not None:
+            # May raise EraseFailedError or cut power mid-erase (leaving
+            # the sector scrambled).  Failed attempts charge no wear.
+            self.injector.on_erase(self, sector)
         state = self._sectors[sector]
         state.erase_count += 1
         self.total_erases += 1
@@ -303,3 +318,33 @@ class FlashMemory(StorageDevice):
         """Zero-cost peek used by recovery and tests (no timing/energy)."""
         self.check_range(offset, nbytes)
         return bytes(self._data[offset : offset + nbytes])
+
+    # ------------------------------------------------------------------
+    # Fault-injection medium effects (called by repro.faults.injector).
+    # ------------------------------------------------------------------
+
+    def fault_flip_bit(self, offset: int, bit: int) -> None:
+        """Flip one stored bit (read disturb / retention loss)."""
+        self.check_range(offset, 1)
+        self._data[offset] ^= 1 << (bit & 7)
+
+    def fault_apply_torn_program(self, offset: int, data: bytes, torn_bytes: int) -> None:
+        """Land only a prefix of an interrupted program.
+
+        The *whole* intended range is marked programmed: bits beyond the
+        torn prefix are in an unknown state and must never be treated as
+        erased again without an actual erase cycle.
+        """
+        self.check_range(offset, len(data))
+        torn = max(0, min(torn_bytes, len(data)))
+        self._data[offset : offset + torn] = data[:torn]
+        for sector, start, end in self._split_by_sector(offset, len(data)):
+            self._sectors[sector].mark_programmed(start, end)
+
+    def fault_scramble_sector(self, sector: int, garbage: bytes) -> None:
+        """An interrupted erase leaves the sector in a scrambled state."""
+        if len(garbage) != self.sector_bytes:
+            raise ValueError("garbage must cover the whole sector")
+        start, end = self.sector_range(sector)
+        self._data[start:end] = garbage
+        self._sectors[sector].programmed = [(0, self.sector_bytes)]

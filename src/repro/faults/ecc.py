@@ -1,0 +1,91 @@
+"""Single-error-correcting block codeword.
+
+Real NAND controllers store an ECC syndrome in each page's out-of-band
+area and correct small numbers of flipped bits on read.  This module
+implements the simplest code with that shape: a 13-byte trailer holding
+
+- ``crc32`` of the payload (detects any corruption, verifies corrections),
+- the XOR of the (0-based) positions of all set bits (locates one flip),
+- the parity of the popcount (disambiguates which *direction* the flip
+  went, and catches the position-XOR's one blind spot: bit 0).
+
+A single flipped bit anywhere in the payload is located and corrected;
+anything worse is detected (CRC mismatch survives) and reported as
+uncorrectable.  The flash store treats "corrected" as a scrub trigger and
+"failed" as data loss to surface.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Tuple
+
+_ECC = struct.Struct("<IQB")  # crc32, xor-of-set-bit-positions, popcount parity
+ECC_BYTES = _ECC.size  # 13
+
+# Per-byte-value popcount and position-XOR tables.  For byte value v at
+# byte index i, the positions of its set bits are (i*8 + j) for each set
+# j in 0..7; XOR over them factors into (i*8 XOR'd popcount(v) times)
+# XOR (XOR of set j's), so two small tables cover any payload length.
+_BYTE_POP = [bin(v).count("1") for v in range(256)]
+_BYTE_XORJ = [0] * 256
+for _v in range(256):
+    acc = 0
+    for _j in range(8):
+        if _v >> _j & 1:
+            acc ^= _j
+    _BYTE_XORJ[_v] = acc
+
+
+def _bit_signature(data: bytes) -> Tuple[int, int]:
+    """(XOR of set-bit positions, total popcount) over the payload."""
+    xor_pos = 0
+    pop = 0
+    for i, v in enumerate(data):
+        p = _BYTE_POP[v]
+        pop += p
+        if p & 1:
+            xor_pos ^= i << 3
+        xor_pos ^= _BYTE_XORJ[v]
+    return xor_pos, pop
+
+
+def ecc_encode(data: bytes) -> bytes:
+    """Compute the 13-byte codeword for ``data``."""
+    xor_pos, pop = _bit_signature(data)
+    return _ECC.pack(zlib.crc32(data) & 0xFFFFFFFF, xor_pos, pop & 1)
+
+
+def ecc_check(data: bytes, codeword: bytes) -> Tuple[str, bytes]:
+    """Verify ``data`` against ``codeword``; correct a single bit flip.
+
+    Returns ``(status, payload)`` where status is:
+
+    - ``"ok"`` — CRC matches, payload returned unchanged;
+    - ``"corrected"`` — exactly one bit was flipped; the corrected
+      payload is returned (re-verified against the CRC);
+    - ``"failed"`` — corruption beyond one bit; payload returned as-is.
+    """
+    if len(codeword) != ECC_BYTES:
+        return "failed", data
+    crc, xor_pos, parity = _ECC.unpack(codeword)
+    if zlib.crc32(data) & 0xFFFFFFFF == crc:
+        return "ok", data
+    cur_xor, cur_pop = _bit_signature(data)
+    if (cur_pop & 1) == parity:
+        # An even number of flips: the single-bit locator cannot help.
+        return "failed", data
+    # One flip at position p changes the XOR signature by exactly p
+    # (whether the flip was 0->1 or 1->0); p == 0 shows up only through
+    # the parity change, which the branch above already established.
+    position = cur_xor ^ xor_pos
+    byte_index, bit = position >> 3, position & 7
+    if byte_index >= len(data):
+        return "failed", data
+    fixed = bytearray(data)
+    fixed[byte_index] ^= 1 << bit
+    fixed = bytes(fixed)
+    if zlib.crc32(fixed) & 0xFFFFFFFF == crc:
+        return "corrected", fixed
+    return "failed", data

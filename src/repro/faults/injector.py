@@ -1,0 +1,192 @@
+"""Deterministic, seedable device-fault injection.
+
+A :class:`FaultPlan` declares *what* can go wrong and how often; a
+:class:`FaultInjector` attaches to a :class:`~repro.devices.flash.FlashMemory`
+and makes it happen at exact, reproducible points:
+
+- **bit flips** — with probability ``bit_flip_per_read`` a read flips one
+  stored bit inside the range being read (persistent medium corruption,
+  the way read disturb and retention loss present);
+- **program/erase failures** — with the configured rates an operation
+  raises :class:`~repro.devices.errors.ProgramFailedError` /
+  :class:`EraseFailedError`; a ``permanent_fraction`` of failures mark
+  the sector bad forever (every later program/erase there fails too),
+  the rest succeed on retry;
+- **power cuts** — the injector counts every device operation and, when
+  the count reaches ``power_cut_at_op``, raises
+  :class:`~repro.devices.errors.PowerCutError`.  With ``torn_ops`` a cut
+  mid-program lands a prefix of the data (marking the whole range
+  programmed — the untouched bits are in an unknown state) and a cut
+  mid-erase scrambles the sector, exactly the torn states crash
+  recovery must tolerate.
+
+Everything draws from one :func:`~repro.sim.rand.substream`, so a given
+``(plan, workload)`` pair replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.devices.errors import EraseFailedError, PowerCutError, ProgramFailedError
+from repro.devices.flash import FlashMemory
+from repro.sim.rand import substream
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the faults to inject."""
+
+    seed: int = 0
+    #: Probability that a read flips one stored bit in the range read.
+    bit_flip_per_read: float = 0.0
+    #: Probability that a program operation fails.
+    program_fail_rate: float = 0.0
+    #: Probability that an erase operation fails.
+    erase_fail_rate: float = 0.0
+    #: Fraction of program/erase failures that are permanent (bad block).
+    permanent_fraction: float = 0.0
+    #: Cut power when the device-operation counter reaches this value
+    #: (1-based: ``1`` cuts on the very first operation); None disables.
+    power_cut_at_op: Optional[int] = None
+    #: Whether a power cut tears the in-flight operation (partial program
+    #: / scrambled erase) or lands between operations.
+    torn_ops: bool = True
+
+    def validate(self) -> None:
+        for name in ("bit_flip_per_read", "program_fail_rate", "erase_fail_rate",
+                     "permanent_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.power_cut_at_op is not None and self.power_cut_at_op < 1:
+            raise ValueError("power_cut_at_op is 1-based; must be >= 1")
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against one flash device."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        plan.validate()
+        self.plan = plan
+        self.rng = substream(plan.seed, "fault-injector")
+        self.op_count = 0
+        self.armed = True
+        self.cut_fired = False
+        #: Sectors with a permanent program/erase failure: the physical
+        #: truth about the device, surviving any host-side crash.
+        self.bad_sectors: Set[int] = set()
+        self.counters: Dict[str, int] = {
+            "bit_flips": 0,
+            "program_failures": 0,
+            "erase_failures": 0,
+            "permanent_failures": 0,
+            "power_cuts": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def attach(self, flash: FlashMemory) -> "FaultInjector":
+        flash.injector = self
+        return self
+
+    def detach(self, flash: FlashMemory) -> None:
+        if flash.injector is self:
+            flash.injector = None
+
+    def disarm(self) -> None:
+        """Stop injecting new faults (bad sectors stay bad: they are
+        physical damage, not injector state)."""
+        self.armed = False
+
+    def rearm(self) -> None:
+        self.armed = True
+
+    # ------------------------------------------------------------------
+    # Hooks called by FlashMemory.
+    # ------------------------------------------------------------------
+
+    def _tick(self, flash: FlashMemory, kind: str) -> None:
+        """Count one device operation; fire the scheduled power cut."""
+        self.op_count += 1
+        plan = self.plan
+        if (
+            plan.power_cut_at_op is not None
+            and not self.cut_fired
+            and self.op_count >= plan.power_cut_at_op
+        ):
+            self.cut_fired = True
+            self.counters["power_cuts"] += 1
+            raise PowerCutError(flash.name, self.op_count)
+
+    def on_read(self, flash: FlashMemory, offset: int, nbytes: int) -> None:
+        if not self.armed:
+            return
+        self._tick(flash, "read")
+        if self.plan.bit_flip_per_read and self.rng.bernoulli(self.plan.bit_flip_per_read):
+            victim = offset + self.rng.randint(0, nbytes - 1)
+            bit = self.rng.randint(0, 7)
+            flash.fault_flip_bit(victim, bit)
+            self.counters["bit_flips"] += 1
+
+    def on_program(self, flash: FlashMemory, offset: int, data: bytes) -> None:
+        if not self.armed:
+            return
+        sector = flash.sector_of(offset)
+        try:
+            self._tick(flash, "program")
+        except PowerCutError as cut:
+            if self.plan.torn_ops:
+                torn = self.rng.randint(0, len(data))
+                flash.fault_apply_torn_program(offset, data, torn)
+                raise PowerCutError(flash.name, cut.op_index, torn_bytes=torn) from None
+            raise
+        if sector in self.bad_sectors:
+            self.counters["program_failures"] += 1
+            raise ProgramFailedError(flash.name, sector, transient=False)
+        if self.plan.program_fail_rate and self.rng.bernoulli(self.plan.program_fail_rate):
+            self.counters["program_failures"] += 1
+            if self.rng.bernoulli(self.plan.permanent_fraction):
+                self.bad_sectors.add(sector)
+                self.counters["permanent_failures"] += 1
+                raise ProgramFailedError(flash.name, sector, transient=False)
+            raise ProgramFailedError(flash.name, sector, transient=True)
+
+    def on_erase(self, flash: FlashMemory, sector: int) -> None:
+        if not self.armed:
+            return
+        try:
+            self._tick(flash, "erase")
+        except PowerCutError as cut:
+            if self.plan.torn_ops:
+                chunk = bytes(self.rng.randint(0, 255) for _ in range(256))
+                reps = -(-flash.sector_bytes // len(chunk))
+                flash.fault_scramble_sector(sector, (chunk * reps)[: flash.sector_bytes])
+                raise PowerCutError(
+                    flash.name, cut.op_index, torn_erase=True
+                ) from None
+            raise
+        if sector in self.bad_sectors:
+            self.counters["erase_failures"] += 1
+            raise EraseFailedError(flash.name, sector, transient=False)
+        if self.plan.erase_fail_rate and self.rng.bernoulli(self.plan.erase_fail_rate):
+            self.counters["erase_failures"] += 1
+            if self.rng.bernoulli(self.plan.permanent_fraction):
+                self.bad_sectors.add(sector)
+                self.counters["permanent_failures"] += 1
+                raise EraseFailedError(flash.name, sector, transient=False)
+            raise EraseFailedError(flash.name, sector, transient=True)
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "ops": self.op_count,
+            "bad_sectors": sorted(self.bad_sectors),
+            **self.counters,
+        }

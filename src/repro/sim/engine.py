@@ -103,9 +103,14 @@ class Engine:
         def fire() -> None:
             if root.cancelled:
                 return
-            action()
-            if not root.cancelled:
-                self.schedule(interval, fire, name=name)
+            # Reschedule even when the action raises: a periodic timer
+            # (flush, battery tick) must survive a fault injected into
+            # one firing, or one failure silently kills the series.
+            try:
+                action()
+            finally:
+                if not root.cancelled:
+                    self.schedule(interval, fire, name=name)
 
         root.action = fire
         heapq.heappush(self._queue, root)

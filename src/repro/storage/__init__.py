@@ -25,9 +25,9 @@ system / VM and the raw devices:
 from repro.storage.allocator import Location, OutOfFlashSpace, SectorAllocator, SectorState
 from repro.storage.banks import BankPartition
 from repro.storage.compression import BlockCompressor, CompressionSpec
-from repro.storage.flashstore import FlashStore, StoreMode
+from repro.storage.flashstore import CorruptBlockError, FlashStore, StoreMode
 from repro.storage.gc import CleaningPolicy
-from repro.storage.manager import StorageManager
+from repro.storage.manager import StorageManager, StorageReadOnlyError
 from repro.storage.migration import HotColdTracker, Temperature
 from repro.storage.wear import WearPolicy
 from repro.storage.writebuffer import FlushReason, WriteBuffer
@@ -42,6 +42,8 @@ __all__ = [
     "CompressionSpec",
     "FlashStore",
     "StoreMode",
+    "CorruptBlockError",
+    "StorageReadOnlyError",
     "CleaningPolicy",
     "WearPolicy",
     "WriteBuffer",

@@ -26,13 +26,44 @@ from repro.devices.flash import FlashMemory
 
 
 class OutOfFlashSpace(Exception):
-    """Live data exceeds what cleaning can recover."""
+    """Live data exceeds what cleaning can recover.
+
+    Carries the request and the allocator's occupancy at failure time so
+    torture-harness and pressure-test failures are diagnosable from the
+    message alone.
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        requested_bytes: Optional[int] = None,
+        live_bytes: Optional[int] = None,
+        erased_sectors: Optional[int] = None,
+        retired_sectors: Optional[int] = None,
+    ) -> None:
+        parts = [detail]
+        if requested_bytes is not None:
+            parts.append(f"requested={requested_bytes}B")
+        if live_bytes is not None:
+            parts.append(f"live={live_bytes}B")
+        if erased_sectors is not None:
+            parts.append(f"erased_sectors={erased_sectors}")
+        if retired_sectors:
+            parts.append(f"retired_sectors={retired_sectors}")
+        super().__init__(" ".join(parts))
+        self.requested_bytes = requested_bytes
+        self.live_bytes = live_bytes
+        self.erased_sectors = erased_sectors
+        self.retired_sectors = retired_sectors
 
 
 class SectorState(enum.Enum):
     ERASED = "erased"
     OPEN = "open"
     SEALED = "sealed"
+    #: Retired after a permanent program/erase failure; never allocated,
+    #: cleaned, or counted toward capacity again.
+    BAD = "bad"
 
 
 @dataclass(frozen=True)
@@ -95,6 +126,10 @@ class SectorAllocator:
             self.free_by_bank[info.bank].append(info.index)
         self.total_live_bytes = 0
         self.total_dead_bytes = 0
+        # Bad-block remap table: retired sector -> sector that absorbed
+        # its live data at retirement time (None if it held none).  The
+        # mapping is diagnostic; the index always holds current truth.
+        self.remap: Dict[int, Optional[int]] = {}
 
     # ------------------------------------------------------------------
     # Queries.
@@ -255,11 +290,44 @@ class SectorAllocator:
         self.total_live_bytes += live
         self.total_dead_bytes += info.dead_bytes
 
+    def retire(self, sector: int, remapped_to: Optional[int] = None) -> None:
+        """Permanently remove a failing sector from service.
+
+        The caller must have evacuated (or invalidated) every live block
+        first; ``remapped_to`` records where the evacuated data went.
+        A BAD sector is never allocated, cleaned, or erased again.
+        """
+        info = self.sectors[sector]
+        if info.state is SectorState.BAD:
+            return  # already retired
+        if info.live_bytes:
+            raise ValueError(
+                f"retiring sector {sector} with {info.live_bytes} live bytes"
+            )
+        if info.state is SectorState.ERASED:
+            self.free_by_bank[info.bank].remove(sector)
+        self.total_dead_bytes -= info.dead_bytes
+        info.state = SectorState.BAD
+        info.write_ptr = 0
+        info.dead_bytes = 0
+        info.summary_entries = 0
+        info.blocks = {}
+        self.remap[sector] = remapped_to
+
+    def retired_sectors(self) -> List[int]:
+        return sorted(self.remap)
+
+    def usable_capacity_bytes(self) -> int:
+        """Capacity excluding retired (BAD) sectors."""
+        return self.sector_bytes * (len(self.sectors) - len(self.remap))
+
     def mark_erased(self, sector: int) -> None:
         """Record that the device erased ``sector``; back to the free list."""
         info = self.sectors[sector]
         if info.state is SectorState.ERASED:
             raise ValueError(f"sector {sector} already erased")
+        if info.state is SectorState.BAD:
+            raise ValueError(f"sector {sector} is retired; it cannot rejoin")
         if info.live_bytes:
             raise ValueError(f"erasing sector {sector} with {info.live_bytes} live bytes")
         self.total_dead_bytes -= info.dead_bytes
@@ -286,6 +354,13 @@ class SectorAllocator:
                     raise AssertionError(f"erased sector {info.index} not clean")
                 if info.index not in self.free_by_bank[info.bank]:
                     raise AssertionError(f"erased sector {info.index} missing from free list")
+            if info.state is SectorState.BAD:
+                if info.blocks or info.live_bytes or info.dead_bytes:
+                    raise AssertionError(f"bad sector {info.index} holds data")
+                if info.index in self.free_by_bank[info.bank]:
+                    raise AssertionError(f"bad sector {info.index} on the free list")
+                if info.index not in self.remap:
+                    raise AssertionError(f"bad sector {info.index} missing from remap")
             if info.live_bytes + info.dead_bytes > self.sector_bytes:
                 raise AssertionError(f"sector {info.index} over-committed")
             live += info.live_bytes
@@ -294,10 +369,13 @@ class SectorAllocator:
             raise AssertionError("global live/dead totals out of sync")
 
     def occupancy(self) -> dict:
+        usable = self.usable_capacity_bytes()
         return {
             "live_bytes": self.total_live_bytes,
             "dead_bytes": self.total_dead_bytes,
             "capacity_bytes": self.capacity_bytes(),
+            "usable_capacity_bytes": usable,
             "free_sectors": self.free_sector_count(),
-            "utilization": self.total_live_bytes / self.capacity_bytes(),
+            "retired_sectors": len(self.remap),
+            "utilization": self.total_live_bytes / usable if usable else 1.0,
         }

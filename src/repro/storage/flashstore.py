@@ -29,15 +29,26 @@ from __future__ import annotations
 import enum
 import json
 import struct
+import zlib
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro.devices.errors import EraseFailedError, ProgramFailedError
 from repro.devices.flash import FlashMemory
+from repro.faults.ecc import ECC_BYTES, ecc_check, ecc_encode
 from repro.sim.clock import SimClock
 from repro.sim.stats import StatRegistry
 from repro.storage.allocator import Location, OutOfFlashSpace, SectorAllocator, SectorState
 from repro.storage.banks import BankPartition
 from repro.storage.gc import CleaningPolicy, CleaningStats, choose_victim
 from repro.storage.wear import WearPolicy, choose_erased_sector, static_rotation_victim
+
+
+class CorruptBlockError(Exception):
+    """A block failed its ECC check beyond what one-bit correction fixes."""
+
+    def __init__(self, key: Hashable) -> None:
+        super().__init__(f"block {key!r} is corrupt beyond ECC correction")
+        self.key = key
 
 
 class StoreMode(enum.Enum):
@@ -51,12 +62,19 @@ PAGE_ALIGN = 4096
 
 #: Self-describing log summary entry, written at the tail of each sector
 #: for every appended block (LFS segment-summary style).  Crash recovery
-#: rebuilds the whole index by scanning these.
+#: rebuilds the whole index by scanning these.  Layout of one 64-byte
+#: slot:  [21-byte head][key][13-byte ECC codeword if flagged][0xFF pad]
+#: [4-byte CRC32 of bytes 0..59].  The trailing CRC rejects torn or
+#: bit-flipped entries outright, so a corrupt newest entry can never
+#: shadow an older intact copy of the same block.
 SUMMARY_BYTES = 64
 _SUMMARY_MAGIC = 0x5EC7
-_SUMMARY = struct.Struct("<HBQIIB")  # magic, kind, seq, offset, length, keylen
+# magic, kind, seq, offset, length, keylen, flags
+_SUMMARY = struct.Struct("<HBQIIBB")
+_SUMMARY_CRC = struct.Struct("<I")
 _KIND_DATA = 1
-_MAX_KEY_BYTES = SUMMARY_BYTES - _SUMMARY.size
+_FLAG_ECC = 1
+_MAX_KEY_BYTES = SUMMARY_BYTES - _SUMMARY.size - _SUMMARY_CRC.size - ECC_BYTES
 
 
 def encode_key(key: Hashable) -> bytes:
@@ -75,23 +93,53 @@ def decode_key(raw: bytes) -> Hashable:
     return tuple(value) if isinstance(value, list) else value
 
 
-def pack_summary(kind: int, seq: int, offset: int, length: int, key: Hashable) -> bytes:
+def pack_summary(
+    kind: int,
+    seq: int,
+    offset: int,
+    length: int,
+    key: Hashable,
+    ecc: Optional[bytes] = None,
+) -> bytes:
     raw_key = encode_key(key)
-    head = _SUMMARY.pack(_SUMMARY_MAGIC, kind, seq, offset, length, len(raw_key))
+    flags = _FLAG_ECC if ecc is not None else 0
+    head = _SUMMARY.pack(_SUMMARY_MAGIC, kind, seq, offset, length, len(raw_key), flags)
     entry = head + raw_key
-    return entry + b"\xff" * (SUMMARY_BYTES - len(entry))
+    if ecc is not None:
+        if len(ecc) != ECC_BYTES:
+            raise ValueError(f"ECC codeword must be {ECC_BYTES} bytes")
+        entry += ecc
+    body_max = SUMMARY_BYTES - _SUMMARY_CRC.size
+    entry += b"\xff" * (body_max - len(entry))
+    return entry + _SUMMARY_CRC.pack(zlib.crc32(entry) & 0xFFFFFFFF)
 
 
-def unpack_summary(entry: bytes) -> Optional[Tuple[int, int, int, int, Hashable]]:
-    """Parse one summary slot; None if it was never programmed/is torn."""
-    magic, kind, seq, offset, length, keylen = _SUMMARY.unpack(entry[: _SUMMARY.size])
+def unpack_summary(
+    entry: bytes,
+) -> Optional[Tuple[int, int, int, int, Hashable, Optional[bytes]]]:
+    """Parse one summary slot; None if torn, corrupt, or never programmed.
+
+    Returns ``(kind, seq, offset, length, key, ecc)`` where ``ecc`` is
+    the block's codeword (None for entries written without ECC).
+    """
+    body = entry[: SUMMARY_BYTES - _SUMMARY_CRC.size]
+    (crc,) = _SUMMARY_CRC.unpack(entry[SUMMARY_BYTES - _SUMMARY_CRC.size :])
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        return None
+    magic, kind, seq, offset, length, keylen, flags = _SUMMARY.unpack(
+        entry[: _SUMMARY.size]
+    )
     if magic != _SUMMARY_MAGIC or keylen > _MAX_KEY_BYTES:
         return None
     try:
         key = decode_key(entry[_SUMMARY.size : _SUMMARY.size + keylen])
     except (UnicodeDecodeError, json.JSONDecodeError):
         return None
-    return kind, seq, offset, length, key
+    ecc: Optional[bytes] = None
+    if flags & _FLAG_ECC:
+        start = _SUMMARY.size + keylen
+        ecc = entry[start : start + ECC_BYTES]
+    return kind, seq, offset, length, key, ecc
 
 
 class FlashStore:
@@ -109,11 +157,24 @@ class FlashStore:
         wear_gap_threshold: int = 16,
         in_place_slot_bytes: int = 4096,
         self_describing: bool = True,
+        ecc: bool = False,
+        program_retry_limit: int = 4,
+        program_retry_backoff_s: float = 1e-4,
     ) -> None:
         """``self_describing`` (logging mode) writes an LFS-style summary
         entry per block at the sector tail, making the log recoverable
         after total power loss (see :meth:`recover`); it costs
-        ``SUMMARY_BYTES`` of flash per block."""
+        ``SUMMARY_BYTES`` of flash per block.
+
+        ``ecc`` (logging + self-describing mode) additionally embeds a
+        single-error-correcting codeword per block in its summary entry
+        (NAND OOB style): reads verify, correct one flipped bit, and
+        scrub the block back to flash; worse corruption raises
+        :class:`CorruptBlockError` instead of returning garbage.
+
+        Transient program/erase failures are retried up to
+        ``program_retry_limit`` times with linear backoff; exhausted or
+        permanent failures retire the sector (bad-block remapping)."""
         self.flash = flash
         self.clock = clock
         self.mode = mode
@@ -123,6 +184,13 @@ class FlashStore:
         self.free_target_sectors = max(2, free_target_sectors)
         self.wear_gap_threshold = wear_gap_threshold
         self.self_describing = self_describing and mode is StoreMode.LOGGING
+        self.ecc = ecc and self.self_describing
+        self.program_retry_limit = max(0, program_retry_limit)
+        self.program_retry_backoff_s = program_retry_backoff_s
+        # key -> ECC codeword for the current version of each block.
+        # Cached in DRAM (free to read); recovery rebuilds it from the
+        # summary entries, which are the durable copy.
+        self._ecc: Dict[Hashable, bytes] = {}
         if self.self_describing and flash.sector_bytes < PAGE_ALIGN + 2 * SUMMARY_BYTES:
             raise ValueError(
                 "self-describing log needs erase sectors larger than "
@@ -173,11 +241,37 @@ class FlashStore:
         return data
 
     def _do_program(self, offset: int, data: bytes) -> None:
-        result = self.flash.program(offset, data, self.clock.now)
+        """Program with bounded retry on transient device failures.
+
+        Permanent failures (and transients that exhaust the retry
+        budget) propagate as :class:`ProgramFailedError`; callers retire
+        the sector and place the data elsewhere.
+        """
+        attempt = 0
+        while True:
+            try:
+                result = self.flash.program(offset, data, self.clock.now)
+                break
+            except ProgramFailedError as err:
+                if not err.transient or attempt >= self.program_retry_limit:
+                    raise
+                attempt += 1
+                self.stats.counter("program_retries").add(1)
+                self.clock.advance(self.program_retry_backoff_s * attempt)
         self.clock.advance(result.latency)
 
     def _do_erase(self, sector: int) -> None:
-        result = self.flash.erase_sector(sector, self.clock.now)
+        attempt = 0
+        while True:
+            try:
+                result = self.flash.erase_sector(sector, self.clock.now)
+                break
+            except EraseFailedError as err:
+                if not err.transient or attempt >= self.program_retry_limit:
+                    raise
+                attempt += 1
+                self.stats.counter("erase_retries").add(1)
+                self.clock.advance(self.program_retry_backoff_s * attempt)
         self.clock.advance(result.latency)
         self.stats.counter("erases").add(1)
 
@@ -233,7 +327,29 @@ class FlashStore:
             length = self._in_place_lengths[key]
             return self._do_read(base, length)
         loc = self._index[key]
-        return self._do_read(loc.absolute(self.allocator.sector_bytes), loc.length)
+        data = self._do_read(loc.absolute(self.allocator.sector_bytes), loc.length)
+        if self.ecc:
+            data = self._verify_block(key, data, scrub=True)
+        return data
+
+    def _verify_block(self, key: Hashable, data: bytes, scrub: bool) -> bytes:
+        """ECC-check a block read; correct one flipped bit and (when
+        ``scrub`` is set) rewrite the corrected copy out-of-place so the
+        corruption cannot accumulate a second, uncorrectable flip."""
+        code = self._ecc.get(key)
+        if code is None:
+            return data
+        status, fixed = ecc_check(data, code)
+        if status == "ok":
+            return data
+        if status == "failed":
+            self.stats.counter("ecc_uncorrectable").add(1)
+            raise CorruptBlockError(key)
+        self.stats.counter("ecc_corrected").add(1)
+        if scrub:
+            self.stats.counter("scrub_rewrites").add(1)
+            self._write_logging(key, fixed, hot=False)
+        return fixed
 
     def delete_block(self, key: Hashable) -> None:
         if self.mode is StoreMode.IN_PLACE:
@@ -245,6 +361,7 @@ class FlashStore:
             del self._in_place_lengths[key]
             return
         loc = self._index.pop(key)
+        self._ecc.pop(key, None)
         self.allocator.invalidate(loc)
 
     # ------------------------------------------------------------------
@@ -257,24 +374,46 @@ class FlashStore:
         return PAGE_ALIGN if data_len % PAGE_ALIGN == 0 else 1
 
     def _append_and_program(self, sector: int, key: Hashable, data: bytes) -> Location:
-        """Append a block: payload, then its tail summary entry."""
+        """Append a block: payload, then its tail summary entry.
+
+        On a permanent program failure the allocator reservation is
+        rolled back (marked dead) before the error propagates, so the
+        caller can retire the sector and place the block elsewhere.
+        """
         loc = self.allocator.append(sector, key, len(data), align=self._align_for(len(data)))
-        self._do_program(loc.absolute(self.allocator.sector_bytes), data)
-        if self.self_describing:
-            info = self.allocator.info(sector)
-            slot = self.allocator.summary_slot_offset(sector, info.summary_entries - 1)
-            entry = pack_summary(_KIND_DATA, self._seq, loc.offset, loc.length, key)
-            self._seq += 1
-            self._do_program(sector * self.allocator.sector_bytes + slot, entry)
+        code = ecc_encode(data) if self.ecc else None
+        try:
+            self._do_program(loc.absolute(self.allocator.sector_bytes), data)
+            if self.self_describing:
+                info = self.allocator.info(sector)
+                slot = self.allocator.summary_slot_offset(sector, info.summary_entries - 1)
+                entry = pack_summary(_KIND_DATA, self._seq, loc.offset, loc.length, key, code)
+                self._seq += 1
+                self._do_program(sector * self.allocator.sector_bytes + slot, entry)
+        except ProgramFailedError:
+            self.allocator.invalidate(loc)
+            raise
+        if code is not None:
+            self._ecc[key] = code
         return loc
 
     def _write_logging(self, key: Hashable, data: bytes, hot: bool) -> None:
         pool = self._pool_name(hot)
-        sector = self._ensure_open_sector(pool, len(data))
-        # Look the old location up *after* ensuring space: cleaning may
-        # have relocated this very key while making room.
-        old = self._index.get(key)
-        loc = self._append_and_program(sector, key, data)
+        while True:
+            sector = self._ensure_open_sector(pool, len(data))
+            # Look the old location up *after* ensuring space: cleaning may
+            # have relocated this very key while making room.
+            old = self._index.get(key)
+            try:
+                loc = self._append_and_program(sector, key, data)
+                break
+            except ProgramFailedError:
+                # The open sector's medium is failing: evacuate its live
+                # blocks, retire it, and try again somewhere else.  The
+                # loop terminates because each retirement permanently
+                # removes a sector (OutOfFlashSpace fires when none are
+                # left).
+                self._evacuate_and_retire(sector, pool)
         self._index[key] = loc
         if old is not None:
             self.allocator.invalidate(old)
@@ -288,9 +427,19 @@ class FlashStore:
             self.allocator.seal(open_sector, self.clock.now)
             self._open[pool] = None
         self._reclaim_if_low(pool)
-        sector = self._take_erased(pool)
+        sector = self._take_erased(pool, length)
         self._open[pool] = sector
         return sector
+
+    def _space_error(self, detail: str, requested: Optional[int] = None) -> OutOfFlashSpace:
+        alloc = self.allocator
+        return OutOfFlashSpace(
+            detail,
+            requested_bytes=requested,
+            live_bytes=alloc.total_live_bytes,
+            erased_sectors=alloc.free_sector_count(),
+            retired_sectors=len(alloc.remap),
+        )
 
     @property
     def gc_reserve_sectors(self) -> int:
@@ -303,7 +452,7 @@ class FlashStore:
         """
         return 2 if self.flash.num_sectors >= 16 else 1
 
-    def _take_erased(self, pool: str) -> int:
+    def _take_erased(self, pool: str, length: Optional[int] = None) -> int:
         banks = self._pool_banks(pool)
         free_everywhere = self.allocator.free_sector_count()
         if free_everywhere <= self.gc_reserve_sectors:
@@ -318,22 +467,25 @@ class FlashStore:
                     break
                 cleaned += 1
             if self.allocator.free_sector_count() <= self.gc_reserve_sectors:
-                raise OutOfFlashSpace(
+                raise self._space_error(
                     f"pool {pool!r}: device effectively full "
-                    f"(live={self.allocator.total_live_bytes} bytes, "
-                    f"reserve={self.gc_reserve_sectors} sectors held for cleaning)"
+                    f"(reserve={self.gc_reserve_sectors} sectors held for cleaning)",
+                    requested=length,
                 )
         sector = choose_erased_sector(self.allocator, banks, self.wear)
         if sector is None:
             # Forced cleaning: recover space synchronously on the write path.
             self.cleaning_stats.forced_cleanings += 1
             if not self._clean_one(pool):
-                raise OutOfFlashSpace(
-                    f"pool {pool!r}: no erased sectors and nothing to clean"
+                raise self._space_error(
+                    f"pool {pool!r}: no erased sectors and nothing to clean",
+                    requested=length,
                 )
             sector = choose_erased_sector(self.allocator, banks, self.wear)
             if sector is None:
-                raise OutOfFlashSpace(f"pool {pool!r}: cleaning recovered no sector")
+                raise self._space_error(
+                    f"pool {pool!r}: cleaning recovered no sector", requested=length
+                )
         self.allocator.take_erased(sector)
         return sector
 
@@ -372,15 +524,23 @@ class FlashStore:
         self._relocate_and_erase(victim, pool)
         return True
 
-    def _relocate_and_erase(self, victim: int, pool: str) -> None:
+    def _relocate_live_blocks(self, victim: int, pool: str) -> Optional[int]:
+        """Move every live block out of ``victim``; returns the last
+        destination sector used (None if the victim held nothing live).
+
+        Reads are ECC-verified (a flip picked up in transit would
+        otherwise be copied forward and accumulate); destination
+        program failures retire the destination and relocate again.
+        """
         info = self.allocator.info(victim)
         live = sorted(info.blocks.items())  # (offset, (key, length))
-        reclaimed = info.dead_bytes
+        dest_used: Optional[int] = None
         for offset, (key, length) in live:
             absolute = victim * self.allocator.sector_bytes + offset
             data = self._do_read(absolute, length)
-            dest = self._ensure_open_sector_for_gc(pool, length, forbidden=victim)
-            new_loc = self._append_and_program(dest, key, data)
+            if self.ecc:
+                data = self._verify_block(key, data, scrub=False)
+            new_loc = self._place_relocated(pool, key, data, forbidden=victim)
             old_loc = Location(victim, offset, length)
             self.allocator.invalidate(old_loc)
             self._index[key] = new_loc
@@ -388,7 +548,46 @@ class FlashStore:
             self.stats.counter("gc_bytes_copied").add(length)
             for listener in self.relocation_listeners:
                 listener(key, old_loc, new_loc)
-        self._do_erase(victim)
+            dest_used = new_loc.sector
+        return dest_used
+
+    def _place_relocated(
+        self, pool: str, key: Hashable, data: bytes, forbidden: int
+    ) -> Location:
+        """Append a relocated block somewhere outside ``forbidden``,
+        retiring any destination whose medium refuses the program."""
+        while True:
+            dest = self._ensure_open_sector_for_gc(pool, len(data), forbidden)
+            try:
+                return self._append_and_program(dest, key, data)
+            except ProgramFailedError:
+                self._evacuate_and_retire(dest, pool)
+
+    def _evacuate_and_retire(self, victim: int, pool: str) -> None:
+        """A permanent program failure hit ``victim``: move its live
+        blocks elsewhere, then retire it into the bad-block remap table."""
+        for p, open_sector in self._open.items():
+            if open_sector == victim:
+                self._open[p] = None
+        dest_used = self._relocate_live_blocks(victim, pool)
+        self.allocator.retire(victim, remapped_to=dest_used)
+        self.cleaning_stats.sectors_retired += 1
+        self.stats.counter("sectors_retired").add(1)
+
+    def _relocate_and_erase(self, victim: int, pool: str) -> None:
+        info = self.allocator.info(victim)
+        reclaimed = info.dead_bytes
+        self._relocate_live_blocks(victim, pool)
+        try:
+            self._do_erase(victim)
+        except EraseFailedError:
+            # The erase failed for good: the sector keeps its stale bits
+            # but leaves service permanently.
+            self.cleaning_stats.erase_failures += 1
+            self.allocator.retire(victim, remapped_to=None)
+            self.cleaning_stats.sectors_retired += 1
+            self.stats.counter("sectors_retired").add(1)
+            return
         self.allocator.mark_erased(victim)
         self.cleaning_stats.sectors_cleaned += 1
         self.cleaning_stats.dead_bytes_reclaimed += reclaimed
@@ -416,7 +615,9 @@ class FlashStore:
                 if s != forbidden
             ]
         if not candidates:
-            raise OutOfFlashSpace("cleaner found no erased sector for live data")
+            raise self._space_error(
+                "cleaner found no erased sector for live data", requested=length
+            )
         if self.wear is WearPolicy.NONE:
             sector = min(candidates)
         else:
@@ -484,7 +685,9 @@ class FlashStore:
     def _assign_slot(self, key: Hashable) -> Tuple[int, int]:
         sector, slot = self._next_slot
         if sector >= self.flash.num_sectors:
-            raise OutOfFlashSpace("in-place store is full")
+            raise OutOfFlashSpace(
+                "in-place store is full", requested_bytes=self.in_place_slot_bytes
+            )
         nxt = (sector, slot + 1)
         if nxt[1] >= self._slots_per_sector:
             nxt = (sector + 1, 0)
@@ -517,57 +720,85 @@ class FlashStore:
         store = cls(flash, clock, **store_kwargs)
         if not store.self_describing:
             raise ValueError("recovery requires a self-describing store")
-        sector_bytes = store.allocator.sector_bytes
 
         # Pass 1: collect every summary entry on the device.
-        per_sector: Dict[int, List[Tuple[int, int, int, Hashable]]] = {}
-        winners: Dict[Hashable, Tuple[int, Location]] = {}
+        per_sector: Dict[int, Tuple[List[Tuple[int, int, int, Hashable]], int]] = {}
+        winners: Dict[Hashable, Tuple[int, Location, Optional[bytes]]] = {}
         for sector in range(flash.num_sectors):
             if flash.sector_programmed_bytes(sector) == 0:
                 continue  # genuinely erased: stays on the free list
-            entries = store._scan_sector_summaries(sector)
-            per_sector[sector] = entries
-            for seq, offset, length, key in entries:
+            entries, slots_scanned = store._scan_sector_summaries(sector)
+            per_sector[sector] = (entries, slots_scanned)
+            for seq, offset, length, key, ecc in entries:
                 loc = Location(sector, offset, length)
                 best = winners.get(key)
                 if best is None or seq > best[0]:
-                    winners[key] = (seq, loc)
+                    winners[key] = (seq, loc, ecc)
 
         # Pass 2: adopt occupied sectors with their winning blocks.
-        for sector, entries in per_sector.items():
+        for sector, (entries, slots_scanned) in per_sector.items():
             live = [
                 (offset, key, length)
-                for seq, offset, length, key in entries
-                if winners.get(key, (None, None))[1] == Location(sector, offset, length)
+                for seq, offset, length, key, _ecc in entries
+                if winners.get(key, (None, None, None))[1]
+                == Location(sector, offset, length)
                 and winners[key][0] == seq
             ]
-            store.allocator.adopt(sector, live, len(entries), clock.now)
+            store.allocator.adopt(sector, live, slots_scanned, clock.now)
 
-        store._index = {key: loc for key, (seq, loc) in winners.items()}
-        store._seq = 1 + max((seq for seq, _ in winners.values()), default=-1)
+        store._index = {key: loc for key, (seq, loc, _ecc) in winners.items()}
+        if store.ecc:
+            store._ecc = {
+                key: ecc for key, (_seq, _loc, ecc) in winners.items() if ecc is not None
+            }
+        store._seq = 1 + max((seq for seq, _, _ in winners.values()), default=-1)
         store.stats.counter("recovered_blocks").add(len(winners))
         store.stats.counter("recovered_sectors").add(len(per_sector))
-        del sector_bytes
         return store
 
-    def _scan_sector_summaries(self, sector: int) -> List[Tuple[int, int, int, Hashable]]:
-        """Read a sector's summary area; returns (seq, offset, len, key)."""
-        out: List[Tuple[int, int, int, Hashable]] = []
+    def _scan_sector_summaries(
+        self, sector: int
+    ) -> Tuple[List[Tuple[int, int, int, Hashable, Optional[bytes]]], int]:
+        """Read a sector's summary area.
+
+        Returns ``(entries, slots_scanned)`` where each entry is
+        ``(seq, offset, len, key, ecc)``.  Summary slots are written
+        strictly in order, so the first *never-programmed* (all-0xFF)
+        slot ends the area — but a *corrupt* slot (torn write, bit flip,
+        scrambled erase) is skipped and counted rather than trusted to
+        end the scan: an intact entry past it must not be lost, or an
+        acknowledged block would silently vanish.
+        """
+        out: List[Tuple[int, int, int, Hashable, Optional[bytes]]] = []
         entry_index = 0
+        consecutive_corrupt = 0
         base = sector * self.allocator.sector_bytes
         while True:
             slot = self.allocator.summary_slot_offset(sector, entry_index)
             if slot < 0:
                 break
             raw = self._do_read(base + slot, SUMMARY_BYTES)
+            if raw == b"\xff" * SUMMARY_BYTES:
+                break  # first never-programmed slot ends the area
             parsed = unpack_summary(raw)
             if parsed is None:
-                break  # first never-programmed slot ends the area
-            kind, seq, offset, length, key = parsed
+                self.stats.counter("recovery_corrupt_summaries").add(1)
+                consecutive_corrupt += 1
+                # A single crash tears at most one slot and a bit flip
+                # hits one more; a longer corrupt run means we have
+                # walked off the summary area into payload bytes (or a
+                # scrambled sector) — stop rather than scan it all.
+                if consecutive_corrupt >= 4:
+                    entry_index += 1
+                    break
+                entry_index += 1
+                continue
+            consecutive_corrupt = 0
+            kind, seq, offset, length, key, ecc = parsed
             if kind == _KIND_DATA:
-                out.append((seq, offset, length, key))
+                out.append((seq, offset, length, key, ecc))
             entry_index += 1
-        return out
+        return out, entry_index
 
     # ------------------------------------------------------------------
     # Reporting.
@@ -584,6 +815,8 @@ class FlashStore:
             "mode": self.mode.value,
             "cleaning": self.cleaning.value,
             "wear": self.wear.value,
+            "ecc": self.ecc,
+            "retired_sectors": self.allocator.retired_sectors(),
             "occupancy": self.allocator.occupancy(),
             "cleaning_stats": self.cleaning_stats.snapshot(),
             "write_amplification": self.write_amplification(),

@@ -24,10 +24,25 @@ from repro.devices.flash import FlashMemory
 from repro.sim.clock import SimClock
 from repro.sim.engine import Engine
 from repro.sim.stats import StatRegistry
+from repro.storage.allocator import OutOfFlashSpace
 from repro.storage.compression import BlockCompressor
 from repro.storage.flashstore import FlashStore, StoreMode
 from repro.storage.migration import HotColdTracker
 from repro.storage.writebuffer import FlushItem, FlushReason, WriteBuffer
+
+
+class StorageReadOnlyError(Exception):
+    """The manager degraded to read-only mode and refused a write.
+
+    Raised *at the API boundary* (not mid-flush): once erased space or
+    battery headroom is exhausted, accepting more dirty data would
+    guarantee losing it, so new writes are refused while reads — and the
+    data already buffered — remain intact.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"storage manager is read-only ({reason})")
+        self.reason = reason
 
 
 class StorageManager:
@@ -52,6 +67,13 @@ class StorageManager:
         self.compressor = compressor
         self.stats = StatRegistry("storage-manager")
         self._flush_timer = None
+        # Items popped from the buffer but not yet persisted: volatile
+        # state a power failure loses alongside the buffer itself.
+        self._in_flight: List[FlushItem] = []
+        self.read_only = False
+        self.read_only_reason: Optional[str] = None
+        self._battery = None
+        self._battery_min_joules = 0.0
 
     # ------------------------------------------------------------------
     # Construction helpers.
@@ -88,7 +110,33 @@ class StorageManager:
     # Block API used by the file system.
     # ------------------------------------------------------------------
 
+    def set_battery(self, battery, min_joules: float) -> None:
+        """Degrade to read-only before the batteries actually die.
+
+        ``battery`` is a :class:`~repro.devices.battery.BatteryBank`;
+        once its remaining energy drops below ``min_joules`` the manager
+        stops pushing new data to flash (each flash program costs energy
+        the shutdown path will need) and refuses new writes.
+        """
+        self._battery = battery
+        self._battery_min_joules = min_joules
+
+    def _battery_headroom_gone(self) -> bool:
+        return (
+            self._battery is not None
+            and self._battery_min_joules > 0.0
+            and self._battery.remaining_joules() < self._battery_min_joules
+        )
+
+    def _enter_read_only(self, reason: str) -> None:
+        if not self.read_only:
+            self.read_only = True
+            self.read_only_reason = reason
+            self.stats.counter("read_only_transitions").add(1)
+
     def write_block(self, key: Hashable, data: bytes) -> None:
+        if self.read_only:
+            raise StorageReadOnlyError(self.read_only_reason or "degraded")
         now = self.clock.now
         self.tracker.record_write(key, now)
         self.stats.counter("user_bytes_written").add(len(data))
@@ -122,6 +170,8 @@ class StorageManager:
 
     def sync(self) -> int:
         """Flush everything dirty to flash; returns blocks written."""
+        if self.read_only:
+            return 0
         items = self.buffer.flush_all(FlushReason.SYNC)
         self._persist_items(items)
         return len(items)
@@ -133,15 +183,46 @@ class StorageManager:
         self._persist_items([item])
         return True
 
-    def _persist_items(self, items: List[FlushItem]) -> None:
+    def _restore_items(self, items: List[FlushItem]) -> None:
         for item in items:
+            self.buffer.restore(item.key, item.data, item.hot)
+
+    def _persist_items(self, items: List[FlushItem]) -> None:
+        if not items:
+            return
+        if self.read_only or self._battery_headroom_gone():
+            # Graceful degradation: instead of raising mid-workload (or
+            # burning the energy the shutdown path will need), keep the
+            # data safe in battery-backed DRAM and refuse *new* writes.
+            if not self.read_only:
+                self._enter_read_only("battery headroom exhausted")
+            self._restore_items(items)
+            return
+        # Prepend any leftovers from an interrupted earlier flush (the
+        # caller survived the exception and kept going).
+        self._in_flight = self._in_flight + list(items)
+        while self._in_flight:
+            item = self._in_flight[0]
             # Re-classify at flush time: data that cooled off while
             # buffered belongs in the read-mostly banks.
             hot = self.tracker.is_hot(item.key, self.clock.now)
             data = item.data
             if self.compressor is not None:
                 data = self.compressor.encode(data)
-            self.store.write_block(item.key, data, hot=hot)
+            try:
+                self.store.write_block(item.key, data, hot=hot)
+            except OutOfFlashSpace:
+                # Cleaning cannot recover enough erased space: re-buffer
+                # everything unpersisted and degrade to read-only rather
+                # than throwing away acknowledged data.
+                self._enter_read_only("flash erased space exhausted")
+                remaining, self._in_flight = self._in_flight, []
+                self._restore_items(remaining)
+                return
+            # Popped only after the store acknowledged the write; any
+            # exception above leaves the item in _in_flight, where
+            # power_loss() counts it as lost volatile state.
+            self._in_flight.pop(0)
 
     # ------------------------------------------------------------------
     # Power events (experiment E11).
@@ -152,13 +233,22 @@ class StorageManager:
 
         Returns the number of bytes lost (data that existed only in
         battery-backed DRAM).  Blocks already flushed to flash survive.
+        Items mid-flush — popped from the buffer but not yet written to
+        flash when the power failed — are volatile too and count.
         """
         lost = self.buffer.power_loss()
+        in_flight = sum(len(item.data) for item in self._in_flight)
+        self._in_flight = []
+        if in_flight:
+            self.stats.counter("bytes_lost_in_flight").add(in_flight)
+        lost += in_flight
         self.stats.counter("bytes_lost_to_power_failure").add(lost)
         return lost
 
     def shutdown_flush(self) -> int:
         """Orderly shutdown: drain the buffer while power remains."""
+        if self.read_only:
+            return 0
         items = self.buffer.flush_all(FlushReason.SHUTDOWN)
         self._persist_items(items)
         return len(items)
@@ -177,6 +267,8 @@ class StorageManager:
 
     def snapshot(self) -> dict:
         return {
+            "read_only": self.read_only,
+            "read_only_reason": self.read_only_reason,
             "buffer": self.buffer.snapshot(),
             "store": self.store.snapshot(),
             "write_traffic_reduction": self.write_traffic_reduction(),

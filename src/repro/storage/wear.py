@@ -45,9 +45,19 @@ def choose_erased_sector(
     return min(candidates, key=lambda s: (allocator.flash.sector_erase_count(s), s))
 
 
+def _serviceable_counts(allocator: SectorAllocator) -> List[int]:
+    """Erase counts of in-service sectors (retired BAD sectors are out
+    of the rotation and must not pin the wear-gap minimum forever)."""
+    return [
+        allocator.flash.sector_erase_count(s.index)
+        for s in allocator.sectors
+        if s.state is not SectorState.BAD
+    ]
+
+
 def wear_gap(allocator: SectorAllocator) -> int:
-    """Spread between the most- and least-worn sectors."""
-    counts = [allocator.flash.sector_erase_count(s.index) for s in allocator.sectors]
+    """Spread between the most- and least-worn in-service sectors."""
+    counts = _serviceable_counts(allocator)
     return max(counts) - min(counts) if counts else 0
 
 
@@ -68,8 +78,8 @@ def static_rotation_victim(
     sealed = allocator.sealed_victims(banks if banks else None)
     if not sealed:
         return None
-    counts = [allocator.flash.sector_erase_count(s.index) for s in allocator.sectors]
-    if max(counts) - min(counts) < gap_threshold:
+    counts = _serviceable_counts(allocator)
+    if not counts or max(counts) - min(counts) < gap_threshold:
         return None
     victim = min(
         sealed,

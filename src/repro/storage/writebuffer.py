@@ -168,6 +168,26 @@ class WriteBuffer:
             return []
         return self._evict_to_watermark()
 
+    def restore(self, key: Hashable, data: bytes, hot: bool = True) -> None:
+        """Put a flush item *back* after a failed persist (graceful
+        degradation): the data re-enters the buffer without recounting
+        ``bytes_in`` and without evicting anything — it is the same
+        logical write coming home, and evicting would just re-trigger
+        the failing flush.  A newer buffered version wins and is kept.
+        """
+        if key in self._entries:
+            return  # overwritten while the flush was in flight
+        now = self.clock.now
+        self._entries[key] = _Entry(
+            data=data, first_write=now, last_write=now, writes=1, hot=hot
+        )
+        self._bytes += len(data)
+        # The earlier flush accounting claimed these bytes left the
+        # buffer; counters are monotonic, so the correction is a
+        # separate counter netted out in absorption_ratio().
+        self.stats.counter("restored_bytes").add(len(data))
+        self._track_occupancy()
+
     def get(self, key: Hashable) -> Optional[bytes]:
         """Return the buffered version of a block, if any (read hit)."""
         entry = self._entries.get(key)
@@ -263,6 +283,7 @@ class WriteBuffer:
         if bytes_in == 0:
             return 0.0
         flushed = self.stats.counter("flushed_bytes").value
+        flushed -= self.stats.counter("restored_bytes").value
         return 1.0 - (flushed / bytes_in)
 
     def snapshot(self) -> dict:
