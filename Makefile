@@ -1,0 +1,24 @@
+# Convenience targets; everything honors PYTHONPATH=src (no install step).
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-record experiments torture
+
+test:
+	$(PY) -m pytest -x -q
+
+# Quick per-subsystem throughput benches; fails (exit 1) on a >20%
+# regression against the newest committed trajectory file.
+bench:
+	./benchmarks/run_quick.sh
+
+# Record a new BENCH_<stamp>.json baseline (commit the file it prints).
+bench-record:
+	$(PY) -m repro bench --json
+
+experiments:
+	$(PY) -m repro experiments --all -j 4
+
+torture:
+	$(PY) -m repro torture --quick

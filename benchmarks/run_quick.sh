@@ -1,0 +1,11 @@
+#!/bin/sh
+# Quick perf-regression gate.
+#
+# Runs the per-subsystem throughput benches, records a BENCH_<stamp>.json
+# trajectory next to the committed baselines, and exits non-zero when any
+# subsystem regressed by more than 20% versus the newest committed
+# trajectory (exit 2 if no baseline exists yet -- record one first with
+# `make bench-record`).
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src exec "${PY:-python}" -m repro bench --json --check "$@"

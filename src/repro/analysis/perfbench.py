@@ -1,0 +1,254 @@
+"""Perf-regression harness: per-subsystem throughput trajectories.
+
+The simulator is only useful while it is fast enough to afford long
+traces, so simulator throughput is tracked like any other regression
+surface.  Each bench here exercises one hot subsystem in isolation and
+reports a throughput figure (operations per wall-clock second on the
+host):
+
+- ``payload_mb_per_s``     -- trace payload generation (cold, no memo)
+- ``payload_memo_mb_per_s``-- payload generation with the LRU memo warm
+- ``replay_ops_per_s``     -- full trace replay on the paper organization
+- ``flashstore_writes_per_s`` -- log-structured store writes incl. GC
+- ``cache_hits_per_s``     -- buffer-cache hit path (accounting charges)
+- ``allocator_picks_per_s``-- heap-based erased-sector selection
+- ``engine_events_per_s``  -- discrete-event engine dispatch
+
+``python -m repro bench --json`` records a run into a
+``BENCH_<stamp>.json`` trajectory file; ``--check`` compares against the
+newest committed trajectory and exits non-zero when any subsystem lost
+more than the threshold (default 20%).  Wall-clock numbers are noisy on
+shared machines, so every bench reports the best of ``repeats`` runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+MB = 1024 * 1024
+
+#: Regression threshold: a subsystem slower by more than this fraction
+#: versus the baseline trajectory fails the check.
+DEFAULT_THRESHOLD = 0.20
+
+
+def _best_of(fn: Callable[[], float], repeats: int) -> float:
+    return max(fn() for _ in range(max(1, repeats)))
+
+
+# ----------------------------------------------------------------------
+# Individual benches.  Each returns a throughput (units/second).
+# ----------------------------------------------------------------------
+
+
+def bench_payload(quick: bool = True) -> float:
+    """Cold payload generation in MB/s (memo cleared first)."""
+    from repro.trace import replay
+
+    n = 200 if quick else 1000
+    nbytes = 4096
+    replay._payload.cache_clear()
+    replay._pattern_unit.cache_clear()
+    start = time.perf_counter()
+    total = 0
+    for i in range(n):
+        total += len(replay.payload_for(f"/bench/file{i}", i * nbytes, nbytes))
+    elapsed = time.perf_counter() - start
+    return total / MB / elapsed
+
+
+def bench_payload_memo(quick: bool = True) -> float:
+    """Warm (memoized) payload generation in MB/s."""
+    from repro.trace import replay
+
+    n = 2000 if quick else 10000
+    nbytes = 4096
+    replay.payload_for("/bench/hot", 0, nbytes)  # warm the memo
+    start = time.perf_counter()
+    total = 0
+    for _ in range(n):
+        total += len(replay.payload_for("/bench/hot", 0, nbytes))
+    elapsed = time.perf_counter() - start
+    return total / MB / elapsed
+
+
+def bench_replay(quick: bool = True) -> float:
+    """End-to-end replay throughput (trace records/s) on the paper org."""
+    from repro.core.config import Organization, SystemConfig
+    from repro.core.hierarchy import MobileComputer
+
+    duration = 30.0 if quick else 120.0
+    config = SystemConfig(
+        organization=Organization.SOLID_STATE,
+        dram_bytes=4 * MB,
+        flash_bytes=16 * MB,
+        disk_bytes=40 * MB,
+        seed=0,
+    )
+    machine = MobileComputer(config)
+    start = time.perf_counter()
+    report, _metrics = machine.run_workload("office", duration_s=duration)
+    elapsed = time.perf_counter() - start
+    return report.records / elapsed
+
+
+def bench_flashstore(quick: bool = True) -> float:
+    """Log-structured store write throughput (blocks/s), GC included."""
+    from repro.devices.flash import FlashMemory
+    from repro.sim.clock import SimClock
+    from repro.storage.flashstore import FlashStore
+
+    writes = 600 if quick else 3000
+    flash = FlashMemory(4 * MB, banks=2)
+    store = FlashStore(flash, SimClock())
+    start = time.perf_counter()
+    for i in range(writes):
+        # 48 hot keys over-written repeatedly: steady-state cleaning load.
+        store.write_block(("bench", i % 48), b"x" * 4096, hot=True)
+    elapsed = time.perf_counter() - start
+    return writes / elapsed
+
+
+def bench_cache(quick: bool = True) -> float:
+    """Buffer-cache hit path (hits/s) with DRAM accounting charges."""
+    from repro.devices.disk import MagneticDisk
+    from repro.devices.dram import DRAM
+    from repro.fs.blockdev import DiskBlockDevice
+    from repro.fs.cache import BufferCache
+    from repro.sim.clock import SimClock
+
+    hits = 20000 if quick else 100000
+    clock = SimClock()
+    disk = MagneticDisk(8 * MB)
+    dram = DRAM(1 * MB)
+    cache = BufferCache(DiskBlockDevice(disk, clock), clock, capacity_blocks=64, dram=dram)
+    cache.write(0, bytes(cache.device.block_size))
+    start = time.perf_counter()
+    for _ in range(hits):
+        cache.read(0)
+    elapsed = time.perf_counter() - start
+    return hits / elapsed
+
+
+def bench_allocator(quick: bool = True) -> float:
+    """Erased-sector selection throughput (picks/s) on the heap path."""
+    from repro.devices.flash import FlashMemory
+    from repro.storage.allocator import SectorAllocator
+    from repro.storage.wear import WearPolicy, choose_erased_sector
+
+    picks = 20000 if quick else 100000
+    flash = FlashMemory(8 * MB, banks=4)
+    allocator = SectorAllocator(flash)
+    banks = list(range(flash.num_banks))
+    start = time.perf_counter()
+    for _ in range(picks):
+        choose_erased_sector(allocator, banks, WearPolicy.DYNAMIC)
+    elapsed = time.perf_counter() - start
+    return picks / elapsed
+
+
+def bench_engine(quick: bool = True) -> float:
+    """Discrete-event dispatch throughput (events/s)."""
+    from repro.sim.engine import Engine
+
+    events = 20000 if quick else 100000
+    engine = Engine()
+    counter = [0]
+
+    def tick() -> None:
+        counter[0] += 1
+
+    for i in range(events):
+        engine.schedule_at(float(i) * 1e-3, tick)
+    start = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - start
+    assert counter[0] == events
+    return events / elapsed
+
+
+BENCHES: Dict[str, Callable[[bool], float]] = {
+    "payload_mb_per_s": bench_payload,
+    "payload_memo_mb_per_s": bench_payload_memo,
+    "replay_ops_per_s": bench_replay,
+    "flashstore_writes_per_s": bench_flashstore,
+    "cache_hits_per_s": bench_cache,
+    "allocator_picks_per_s": bench_allocator,
+    "engine_events_per_s": bench_engine,
+}
+
+
+# ----------------------------------------------------------------------
+# Trajectory files.
+# ----------------------------------------------------------------------
+
+
+def run_benches(quick: bool = True, repeats: int = 3) -> Dict[str, float]:
+    """Run every bench; best-of-``repeats`` throughput per subsystem."""
+    return {
+        name: _best_of(lambda fn=fn: fn(quick), repeats) for name, fn in BENCHES.items()
+    }
+
+
+def trajectory_record(benches: Dict[str, float], stamp: Optional[str] = None) -> dict:
+    return {
+        "stamp": stamp or time.strftime("%Y%m%d_%H%M%S"),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "benches": benches,
+    }
+
+
+def write_trajectory(record: dict, out_dir: str) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{record['stamp']}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def latest_trajectory(out_dir: str, before: Optional[str] = None) -> Optional[dict]:
+    """Newest ``BENCH_*.json`` in ``out_dir`` (stamps sort lexically).
+
+    ``before`` excludes a just-written file so a run never compares
+    against itself.
+    """
+    if not os.path.isdir(out_dir):
+        return None
+    names = sorted(
+        n
+        for n in os.listdir(out_dir)
+        if n.startswith("BENCH_") and n.endswith(".json") and n != before
+    )
+    if not names:
+        return None
+    with open(os.path.join(out_dir, names[-1]), encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Tuple[str, float, float, float]]:
+    """Regressions: ``(name, baseline, current, drop_fraction)`` rows.
+
+    A subsystem regresses when its throughput drops by more than
+    ``threshold`` versus the baseline.  Benches present on only one side
+    are ignored (the trajectory schema may grow over time).
+    """
+    regressions = []
+    for name, old in baseline.items():
+        new = current.get(name)
+        if new is None or old <= 0:
+            continue
+        drop = (old - new) / old
+        if drop > threshold:
+            regressions.append((name, old, new, drop))
+    return regressions

@@ -8,18 +8,27 @@ Commands:
 - ``run``          -- run one workload on one organization, print metrics.
 - ``compare``      -- run one workload on every organization, side by side.
 - ``experiment``   -- run one (or all) of the E1-E13 experiment drivers.
+- ``experiments``  -- run many experiment drivers, optionally in
+  parallel (``-j N`` fans them across a process pool; every driver is
+  independent and seed-deterministic, so the tables are identical to a
+  serial run) and optionally under cProfile (``--profile``).
+- ``bench``        -- per-subsystem simulator-throughput benches; with
+  ``--json`` records a ``BENCH_<stamp>.json`` trajectory file, with
+  ``--check`` fails on >20% regression vs. the newest trajectory.
 - ``torture``      -- crash-consistency torture: power-cut sweep plus
   bit-flip and program-failure campaigns; exits non-zero on any
   invariant violation.
 
-Everything prints plain ASCII tables; no flags produce files.
+Except for ``bench --json`` and ``experiments --profile`` (which write
+under ``benchmarks/``), everything prints plain ASCII tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.analysis.experiments import ALL_EXPERIMENTS
 from repro.analysis.report import format_kv, format_table, human_bytes, human_seconds
@@ -188,6 +197,100 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _experiment_worker(job: Tuple[str, bool, Optional[str]]) -> Tuple[str, str]:
+    """Run one experiment driver; returns (id, rendered table).
+
+    Top-level so a multiprocessing pool can pickle it.  With a profile
+    directory set, the driver runs under cProfile and dumps both the raw
+    ``pstats`` file and a human-readable top-30 summary.
+    """
+    eid, full, profile_dir = job
+    driver = ALL_EXPERIMENTS[eid]
+    if profile_dir is None:
+        return eid, driver(quick=not full).render()
+    import cProfile
+    import pstats
+
+    os.makedirs(profile_dir, exist_ok=True)
+    profile = cProfile.Profile()
+    profile.enable()
+    result = driver(quick=not full)
+    profile.disable()
+    profile.dump_stats(os.path.join(profile_dir, f"{eid}.pstats"))
+    with open(os.path.join(profile_dir, f"{eid}.txt"), "w", encoding="utf-8") as fh:
+        pstats.Stats(profile, stream=fh).sort_stats("cumulative").print_stats(30)
+    return eid, result.render()
+
+
+def _cmd_experiments(args) -> int:
+    if args.all or not args.id:
+        ids = list(ALL_EXPERIMENTS)
+    else:
+        ids = [eid.upper() for eid in args.id]
+    unknown = [eid for eid in ids if eid not in ALL_EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    profile_dir = args.profile_dir if args.profile else None
+    jobs = [(eid, args.full, profile_dir) for eid in ids]
+    if args.jobs > 1 and len(jobs) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=min(args.jobs, len(jobs))) as pool:
+            outputs = pool.map(_experiment_worker, jobs)
+    else:
+        outputs = [_experiment_worker(job) for job in jobs]
+    # Pool.map preserves submission order, so parallel output is
+    # byte-identical to the serial run.
+    for _eid, rendered in outputs:
+        print(rendered)
+        print()
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.analysis.perfbench import (
+        compare,
+        latest_trajectory,
+        run_benches,
+        trajectory_record,
+        write_trajectory,
+    )
+
+    benches = run_benches(quick=not args.full, repeats=args.repeats)
+    rows = [[name, f"{value:,.0f}"] for name, value in benches.items()]
+    print(format_table(["subsystem bench", "throughput/s"], rows,
+                       title="simulator throughput (host wall-clock)"))
+    record = trajectory_record(benches)
+    written_name = None
+    if args.json:
+        path = write_trajectory(record, args.dir)
+        written_name = os.path.basename(path)
+        print(f"\ntrajectory written: {path}")
+    if args.check:
+        baseline = latest_trajectory(args.dir, before=written_name)
+        if baseline is None:
+            print(f"bench --check: no baseline trajectory in {args.dir}", file=sys.stderr)
+            return 2
+        regressions = compare(baseline["benches"], benches, threshold=args.threshold)
+        if regressions:
+            print(
+                f"\nBENCH FAILED vs {baseline['stamp']}: "
+                f">{args.threshold:.0%} throughput regression",
+                file=sys.stderr,
+            )
+            for name, old, new, drop in regressions:
+                print(f"  {name}: {old:,.0f} -> {new:,.0f} (-{drop:.0%})", file=sys.stderr)
+            return 1
+        print(f"\nbench ok vs {baseline['stamp']}: no regression above "
+              f"{args.threshold:.0%}")
+    return 0
+
+
 def _cmd_torture(args) -> int:
     from repro.faults.torture import (
         TortureConfig,
@@ -261,6 +364,39 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--full", action="store_true",
                        help="paper-length durations instead of quick mode")
 
+    exps_p = sub.add_parser(
+        "experiments",
+        help="run experiment drivers, optionally parallel (-j) and profiled",
+    )
+    exps_p.add_argument("id", nargs="*",
+                        help="experiment ids (default: all of E1..E13/X1..X2)")
+    exps_p.add_argument("--all", action="store_true", help="run every experiment")
+    exps_p.add_argument("-j", "--jobs", type=int, default=1,
+                        help="fan experiments across N worker processes")
+    exps_p.add_argument("--full", action="store_true",
+                        help="paper-length durations instead of quick mode")
+    exps_p.add_argument("--profile", action="store_true",
+                        help="run each driver under cProfile and dump pstats")
+    exps_p.add_argument("--profile-dir",
+                        default=os.path.join("benchmarks", "out", "profiles"),
+                        help="where --profile writes <ID>.pstats/<ID>.txt")
+
+    bench_p = sub.add_parser(
+        "bench", help="per-subsystem throughput benches + regression check"
+    )
+    bench_p.add_argument("--json", action="store_true",
+                         help="record a BENCH_<stamp>.json trajectory file")
+    bench_p.add_argument("--check", action="store_true",
+                         help="fail on throughput regression vs newest trajectory")
+    bench_p.add_argument("--dir", default=os.path.join("benchmarks", "trajectory"),
+                         help="trajectory directory (default benchmarks/trajectory)")
+    bench_p.add_argument("--threshold", type=float, default=0.20,
+                         help="regression threshold as a fraction (default 0.20)")
+    bench_p.add_argument("--repeats", type=int, default=3,
+                         help="best-of-N repeats per bench (default 3)")
+    bench_p.add_argument("--full", action="store_true",
+                         help="longer bench workloads (less noisy, slower)")
+
     tort_p = sub.add_parser("torture", help="crash-consistency torture harness")
     tort_p.add_argument("--mode", default="flashstore", choices=["flashstore", "fsck"],
                         help="torture the raw block store or a full FS over the FTL")
@@ -281,6 +417,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "experiment": _cmd_experiment,
+    "experiments": _cmd_experiments,
+    "bench": _cmd_bench,
     "torture": _cmd_torture,
 }
 

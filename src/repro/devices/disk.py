@@ -157,6 +157,25 @@ class MagneticDisk(StorageDevice):
         self.stats.record_read(nbytes, result)
         return bytes(self._data_view(offset, nbytes)), result
 
+    def charge_read(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
+        """Timing/energy of a read without materializing data.
+
+        Full mechanical accounting (seek, rotation, spin-up) applies:
+        an accounting-only access still moves the head and keeps the
+        spindle spinning.
+        """
+        self.check_range(offset, nbytes)
+        result = self._access(offset, nbytes, now, write=False)
+        self.stats.record_read(nbytes, result)
+        return result
+
+    def charge_write(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
+        """Timing/energy of a write; the stored bytes are untouched."""
+        self.check_range(offset, nbytes)
+        result = self._access(offset, nbytes, now, write=True)
+        self.stats.record_write(nbytes, result)
+        return result
+
     def write(self, offset: int, data: bytes, now: float) -> AccessResult:
         self.check_range(offset, len(data))
         result = self._access(offset, len(data), now, write=True)

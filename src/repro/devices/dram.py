@@ -62,6 +62,52 @@ class DRAM(StorageDevice):
         self.stats.record_read(nbytes, result)
         return bytes(self._data[offset : offset + nbytes]), result
 
+    def read_view(self, offset: int, nbytes: int, now: float) -> Tuple[memoryview, AccessResult]:
+        """Timed read returning a zero-copy view of the array.
+
+        Same latency/energy/stats as :meth:`read`; the caller gets a
+        ``memoryview`` into the live array instead of a copied ``bytes``
+        (cache fills and page installs copy into their own buffer anyway,
+        so the intermediate allocation is pure overhead).  The view is
+        only valid until the next write to the range.
+        """
+        self._require_power()
+        self.check_range(offset, nbytes)
+        result = self._service(
+            self.spec.read_overhead_s,
+            self.spec.read_per_byte_s,
+            nbytes,
+            self.spec.active_read_power_w,
+        )
+        self.stats.record_read(nbytes, result)
+        return memoryview(self._data)[offset : offset + nbytes], result
+
+    def charge_read(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
+        """Latency+energy of a read, no data movement (accounting only)."""
+        self._require_power()
+        self.check_range(offset, nbytes)
+        result = self._service(
+            self.spec.read_overhead_s,
+            self.spec.read_per_byte_s,
+            nbytes,
+            self.spec.active_read_power_w,
+        )
+        self.stats.record_read(nbytes, result)
+        return result
+
+    def charge_write(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
+        """Latency+energy of a write, contents untouched (accounting only)."""
+        self._require_power()
+        self.check_range(offset, nbytes)
+        result = self._service(
+            self.spec.write_overhead_s,
+            self.spec.write_per_byte_s,
+            nbytes,
+            self.spec.active_write_power_w,
+        )
+        self.stats.record_write(nbytes, result)
+        return result
+
     def write(self, offset: int, data: bytes, now: float) -> AccessResult:
         self._require_power()
         self.check_range(offset, len(data))

@@ -212,6 +212,71 @@ class FlashMemory(StorageDevice):
         """Program ``data`` into erased bytes (alias: :meth:`program`)."""
         return self.program(offset, data, now)
 
+    def charge_read(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
+        """Timing/energy of a read with no data copy (accounting only).
+
+        Identical bank-stall arithmetic to :meth:`read`, minus the byte
+        materialization and fault injection (no data moves, so nothing
+        can be corrupted or torn).
+        """
+        self.check_range(offset, nbytes)
+        latency = 0.0
+        wait = 0.0
+        t = now
+        pos, remaining = offset, nbytes
+        while remaining > 0:
+            bank = self.bank_of_offset(pos)
+            bank_end = (bank + 1) * self.sectors_per_bank * self.sector_bytes
+            chunk = min(remaining, bank_end - pos)
+            stall = self._wait_for_bank(bank, t)
+            service = self.spec.read_overhead_s + self.spec.read_per_byte_s * chunk
+            wait += stall
+            latency += stall + service
+            t += stall + service
+            pos += chunk
+            remaining -= chunk
+        result = AccessResult(
+            latency=latency,
+            energy=self.spec.active_read_power_w * (latency - wait),
+            wait=wait,
+        )
+        self.stats.record_read(nbytes, result)
+        return result
+
+    def charge_write(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
+        """Timing/energy of a program with no data landed (accounting only).
+
+        Occupies the bank exactly as :meth:`program` would -- the timing
+        model is the point -- but skips erase-state checks, fault
+        injection, and the medium update, so the charged range's stored
+        bytes and programmed intervals are untouched.
+        """
+        self.check_range(offset, nbytes)
+        latency = 0.0
+        wait = 0.0
+        t = now
+        pos, remaining = offset, nbytes
+        while remaining > 0:
+            bank = self.bank_of_offset(pos)
+            bank_end = (bank + 1) * self.sectors_per_bank * self.sector_bytes
+            chunk = min(remaining, bank_end - pos)
+            stall = self._wait_for_bank(bank, t)
+            service = self.spec.write_overhead_s + self.spec.write_per_byte_s * chunk
+            self._occupy_bank(bank, t + stall, service)
+            self.bank_states[bank].programs += 1
+            wait += stall
+            latency += stall + service
+            t += stall + service
+            pos += chunk
+            remaining -= chunk
+        result = AccessResult(
+            latency=latency,
+            energy=self.spec.active_write_power_w * (latency - wait),
+            wait=wait,
+        )
+        self.stats.record_write(nbytes, result)
+        return result
+
     def program(self, offset: int, data: bytes, now: float) -> AccessResult:
         nbytes = len(data)
         self.check_range(offset, nbytes)

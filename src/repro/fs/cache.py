@@ -47,12 +47,18 @@ class BufferCache:
     # ------------------------------------------------------------------
 
     def _charge_dram(self, nbytes: int, write: bool) -> None:
+        """Advance the clock by a DRAM touch of ``nbytes``.
+
+        Uses the accounting-only charge API: cache hits and installs pay
+        DRAM latency/energy without allocating ghost buffers (the block
+        bytes already live in the cache's own structures).
+        """
         if self.dram is None:
             return
         if write:
-            result = self.dram.write(0, bytes(nbytes), self.clock.now)
+            result = self.dram.charge_write(nbytes, self.clock.now)
         else:
-            _, result = self.dram.read(0, nbytes, self.clock.now)
+            result = self.dram.charge_read(nbytes, self.clock.now)
         self.clock.advance(result.latency)
 
     # ------------------------------------------------------------------

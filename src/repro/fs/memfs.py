@@ -121,9 +121,10 @@ class MemoryFileSystem(FileSystem):
     # ------------------------------------------------------------------
 
     def _meta_touch(self, touches: int = 1) -> None:
-        """Charge DRAM time for metadata accesses."""
+        """Charge DRAM time for metadata accesses (accounting only --
+        the inodes are host-side Python objects, not DRAM-array bytes)."""
         if self.dram is not None and touches > 0:
-            _, result = self.dram.read(0, META_TOUCH_BYTES * touches, self.clock.now)
+            result = self.dram.charge_read(META_TOUCH_BYTES * touches, self.clock.now)
             self.clock.advance(result.latency)
 
     @contextlib.contextmanager

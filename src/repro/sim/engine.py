@@ -37,10 +37,19 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Owning engine (set at schedule time) so cancellation can keep the
+    # engine's live-event counter exact without scanning the queue.
+    _engine: "Optional[Engine]" = field(default=None, compare=False, repr=False)
+    # True once the event has left the queue (ran or was dropped).
+    _departed: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when it surfaces."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None and not self._departed:
+            self._engine._pending -= 1
 
 
 class Engine:
@@ -51,6 +60,7 @@ class Engine:
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._events_run = 0
+        self._pending = 0
 
     @property
     def events_run(self) -> int:
@@ -59,8 +69,12 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of queued, not-yet-cancelled events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued, not-yet-cancelled events.
+
+        Maintained as a live counter (schedule +1, run/cancel -1), not
+        an O(n) queue scan -- callers poll this on hot paths.
+        """
+        return self._pending
 
     def schedule_at(self, when: float, action: Callable[[], None], name: str = "") -> Event:
         """Schedule ``action`` to run at absolute time ``when``."""
@@ -68,8 +82,9 @@ class Engine:
             raise ValueError(
                 f"cannot schedule event {name!r} at {when} before now ({self.clock.now})"
             )
-        event = Event(when=when, seq=next(self._seq), action=action, name=name)
+        event = Event(when=when, seq=next(self._seq), action=action, name=name, _engine=self)
         heapq.heappush(self._queue, event)
+        self._pending += 1
         return event
 
     def schedule(self, delay: float, action: Callable[[], None], name: str = "") -> Event:
@@ -98,6 +113,7 @@ class Engine:
             seq=next(self._seq),
             action=lambda: None,
             name=name,
+            _engine=self,
         )
 
         def fire() -> None:
@@ -114,12 +130,21 @@ class Engine:
 
         root.action = fire
         heapq.heappush(self._queue, root)
+        self._pending += 1
         return root
+
+    def _retire(self, event: Event) -> None:
+        """Account an event leaving the queue."""
+        event._departed = True
+        if not event.cancelled:
+            self._pending -= 1
 
     def _pop_due(self, horizon: float) -> Optional[Event]:
         while self._queue and self._queue[0].when <= horizon:
             event = heapq.heappop(self._queue)
-            if not event.cancelled:
+            cancelled = event.cancelled
+            self._retire(event)
+            if not cancelled:
                 return event
         return None
 
@@ -148,7 +173,9 @@ class Engine:
             if ran >= max_events:
                 raise RuntimeError(f"engine exceeded {max_events} events; runaway timer?")
             event = heapq.heappop(self._queue)
-            if event.cancelled:
+            cancelled = event.cancelled
+            self._retire(event)
+            if cancelled:
                 continue
             self.clock.advance_to(event.when)
             event.action()
@@ -159,5 +186,6 @@ class Engine:
     def cancel_all(self) -> None:
         """Cancel every pending event (used when tearing a machine down)."""
         for event in self._queue:
-            event.cancelled = True
+            event.cancel()
+            event._departed = True
         self._queue.clear()

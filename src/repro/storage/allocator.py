@@ -19,8 +19,9 @@ invariants easy to test exhaustively:
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.devices.flash import FlashMemory
 
@@ -122,8 +123,20 @@ class SectorAllocator:
         # recovery).  Ordered ascending so "none" wear policy behaves
         # like a naive first-fit allocator.
         self.free_by_bank: Dict[int, List[int]] = {b: [] for b in range(flash.num_banks)}
+        # O(log n) allocation structures mirroring free_by_bank: a set
+        # for membership tests plus two lazily-invalidated per-bank heaps
+        # -- (erase_count, sector) for least-worn-first picks and plain
+        # sector indices for the naive first-fit policy.  Heap entries
+        # whose sector has left the free list (or rejoined with a newer
+        # erase count) are discarded when they surface at the top.
+        self._free_set: Set[int] = set()
+        self._wear_heap: Dict[int, List[Tuple[int, int]]] = {
+            b: [] for b in range(flash.num_banks)
+        }
+        self._index_heap: Dict[int, List[int]] = {b: [] for b in range(flash.num_banks)}
         for info in self.sectors:
             self.free_by_bank[info.bank].append(info.index)
+            self._push_free(info.index)
         self.total_live_bytes = 0
         self.total_dead_bytes = 0
         # Bad-block remap table: retired sector -> sector that absorbed
@@ -149,6 +162,83 @@ class SectorAllocator:
             out.extend(self.free_by_bank[bank])
         return out
 
+    # ------------------------------------------------------------------
+    # O(log n) erased-sector selection.
+    # ------------------------------------------------------------------
+
+    def _push_free(self, sector: int) -> None:
+        bank = self.sectors[sector].bank
+        self._free_set.add(sector)
+        heapq.heappush(
+            self._wear_heap[bank], (self.flash.sector_erase_count(sector), sector)
+        )
+        heapq.heappush(self._index_heap[bank], sector)
+
+    def _drop_free(self, sector: int) -> None:
+        # Heap entries are invalidated lazily; membership is the truth.
+        self._free_set.discard(sector)
+
+    def _peek_bank(
+        self, bank: int, least_worn: bool, exclude: FrozenSet[int]
+    ) -> Optional[Tuple[int, int]]:
+        """Best valid ``(erase_count, sector)`` free in ``bank``, or None.
+
+        Pops stale heap entries (sector no longer free, or free again
+        with a newer erase count) for good; valid-but-excluded entries
+        are popped, remembered, and pushed back afterwards.
+        """
+        if least_worn:
+            heap = self._wear_heap[bank]
+            entry_sector = lambda e: e[1]  # noqa: E731
+            entry_count = lambda e: e[0]  # noqa: E731
+        else:
+            heap = self._index_heap[bank]
+            entry_sector = lambda e: e  # noqa: E731
+            entry_count = None
+        skipped = []
+        found: Optional[Tuple[int, int]] = None
+        while heap:
+            top = heap[0]
+            sector = entry_sector(top)
+            if sector not in self._free_set:
+                heapq.heappop(heap)
+                continue
+            if entry_count is not None and entry_count(top) != self.flash.sector_erase_count(sector):
+                heapq.heappop(heap)  # stale wear entry from a prior life
+                continue
+            if sector in exclude:
+                skipped.append(heapq.heappop(heap))
+                continue
+            found = (self.flash.sector_erase_count(sector), sector)
+            break
+        for item in skipped:
+            heapq.heappush(heap, item)
+        return found
+
+    def peek_erased(
+        self,
+        banks: List[int],
+        least_worn: bool = True,
+        exclude: FrozenSet[int] = frozenset(),
+    ) -> Optional[int]:
+        """Best erased sector in ``banks`` without taking it.
+
+        ``least_worn`` picks by ``(erase_count, index)`` (the DYNAMIC /
+        STATIC wear policies); otherwise by lowest index (the naive
+        first-fit NONE policy).  ``exclude`` skips sectors that must not
+        be chosen (e.g. the victim mid-clean).  Equivalent to a ``min``
+        scan over :meth:`erased_sectors` but O(log n) amortized.
+        """
+        best: Optional[Tuple[int, int]] = None
+        for bank in banks:
+            candidate = self._peek_bank(bank, least_worn, exclude)
+            if candidate is None:
+                continue
+            key = candidate if least_worn else (candidate[1], candidate[1])
+            if best is None or key < best:
+                best = key
+        return None if best is None else best[1]
+
     def sealed_victims(self, banks: Optional[List[int]] = None) -> List[SectorInfo]:
         """Sealed sectors (GC candidates), optionally limited to banks."""
         return [
@@ -170,6 +260,7 @@ class SectorAllocator:
         if info.state is not SectorState.ERASED:
             raise ValueError(f"sector {sector} is {info.state}, not erased")
         self.free_by_bank[info.bank].remove(sector)
+        self._drop_free(sector)
         info.state = SectorState.OPEN
         info.write_ptr = 0
         info.live_bytes = 0
@@ -276,6 +367,7 @@ class SectorAllocator:
         if info.state is not SectorState.ERASED:
             raise ValueError(f"adopt of sector {sector} in state {info.state}")
         self.free_by_bank[info.bank].remove(sector)
+        self._drop_free(sector)
         info.state = SectorState.SEALED
         info.seal_time = now
         info.write_ptr = self.sector_bytes
@@ -306,6 +398,7 @@ class SectorAllocator:
             )
         if info.state is SectorState.ERASED:
             self.free_by_bank[info.bank].remove(sector)
+            self._drop_free(sector)
         self.total_dead_bytes -= info.dead_bytes
         info.state = SectorState.BAD
         info.write_ptr = 0
@@ -337,6 +430,7 @@ class SectorAllocator:
         info.summary_entries = 0
         info.blocks = {}
         self.free_by_bank[info.bank].append(sector)
+        self._push_free(sector)
 
     # ------------------------------------------------------------------
     # Invariant checking (used by property tests).
@@ -367,6 +461,20 @@ class SectorAllocator:
             dead += info.dead_bytes
         if live != self.total_live_bytes or dead != self.total_dead_bytes:
             raise AssertionError("global live/dead totals out of sync")
+        flat_free = {s for v in self.free_by_bank.values() for s in v}
+        if flat_free != self._free_set:
+            raise AssertionError("free set out of sync with free lists")
+        for bank, heap in self._wear_heap.items():
+            live_entries = {
+                s
+                for c, s in heap
+                if s in self._free_set and c == self.flash.sector_erase_count(s)
+            }
+            if not set(self.free_by_bank[bank]) <= live_entries:
+                raise AssertionError(f"bank {bank}: free sector missing from wear heap")
+        for bank, heap in self._index_heap.items():
+            if not set(self.free_by_bank[bank]) <= set(heap):
+                raise AssertionError(f"bank {bank}: free sector missing from index heap")
 
     def occupancy(self) -> dict:
         usable = self.usable_capacity_bytes()

@@ -605,24 +605,18 @@ class FlashStore:
             self.allocator.seal(open_sector, self.clock.now)
             self._open[pool] = None
         banks = self._pool_banks(pool)
-        candidates = [s for s in self.allocator.erased_sectors(banks) if s != forbidden]
-        if not candidates:
+        least_worn = self.wear is not WearPolicy.NONE
+        forbidden_set = frozenset((forbidden,))
+        sector = self.allocator.peek_erased(banks, least_worn, exclude=forbidden_set)
+        if sector is None:
             # Fall back to any erased sector on the device: relocating
             # across the partition beats failing the cleaner.
-            candidates = [
-                s
-                for s in self.allocator.erased_sectors(self.partition.all_banks())
-                if s != forbidden
-            ]
-        if not candidates:
+            sector = self.allocator.peek_erased(
+                self.partition.all_banks(), least_worn, exclude=forbidden_set
+            )
+        if sector is None:
             raise self._space_error(
                 "cleaner found no erased sector for live data", requested=length
-            )
-        if self.wear is WearPolicy.NONE:
-            sector = min(candidates)
-        else:
-            sector = min(
-                candidates, key=lambda s: (self.flash.sector_erase_count(s), s)
             )
         self.allocator.take_erased(sector)
         self._open[pool] = sector

@@ -34,14 +34,31 @@ def choose_erased_sector(
     banks: List[int],
     policy: WearPolicy,
 ) -> Optional[int]:
-    """Pick the erased sector to open next, or None if none are free."""
+    """Pick the erased sector to open next, or None if none are free.
+
+    DYNAMIC and STATIC both allocate least-worn-first; STATIC's extra
+    behaviour lives in static_rotation_victim().  Selection runs on the
+    allocator's per-bank heaps (O(log n)); it picks exactly the sector a
+    ``min`` scan over :func:`choose_erased_sector_scan` would.
+    """
+    return allocator.peek_erased(banks, least_worn=policy is not WearPolicy.NONE)
+
+
+def choose_erased_sector_scan(
+    allocator: SectorAllocator,
+    banks: List[int],
+    policy: WearPolicy,
+) -> Optional[int]:
+    """Reference O(n) implementation of :func:`choose_erased_sector`.
+
+    Kept as the oracle for the heap-equivalence property tests; not used
+    on the hot path.
+    """
     candidates = allocator.erased_sectors(banks)
     if not candidates:
         return None
     if policy is WearPolicy.NONE:
         return min(candidates)
-    # DYNAMIC and STATIC both allocate least-worn-first; STATIC's extra
-    # behaviour lives in static_rotation_victim().
     return min(candidates, key=lambda s: (allocator.flash.sector_erase_count(s), s))
 
 

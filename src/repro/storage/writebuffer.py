@@ -113,13 +113,15 @@ class WriteBuffer:
     # ------------------------------------------------------------------
 
     def _charge_dram_write(self, nbytes: int) -> None:
+        # Accounting-only: the block bytes live in the buffer's own map,
+        # so no ghost buffer is allocated just to model the DRAM copy.
         if self.dram is not None:
-            result = self.dram.write(0, bytes(nbytes), self.clock.now)
+            result = self.dram.charge_write(nbytes, self.clock.now)
             self.clock.advance(result.latency)
 
     def _charge_dram_read(self, nbytes: int) -> None:
         if self.dram is not None:
-            _, result = self.dram.read(0, nbytes, self.clock.now)
+            result = self.dram.charge_read(nbytes, self.clock.now)
             self.clock.advance(result.latency)
 
     # ------------------------------------------------------------------

@@ -12,7 +12,10 @@ can be verified against an independent model if desired.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
+from functools import lru_cache
+from random import Random
 from typing import Callable, Dict, Iterable, Optional
 
 from repro.fs.api import FileSystem, FSError
@@ -21,27 +24,57 @@ from repro.sim.stats import Histogram, StatRegistry
 from repro.trace.model import OpType, TraceRecord
 
 
+@lru_cache(maxsize=4096)
+def _pattern_unit(seedling: int) -> bytes:
+    """Memoized 64-byte repeating unit for the compressible half."""
+    return bytes(((seedling + i) & 0xFF) for i in range(64))
+
+
+@lru_cache(maxsize=1024)
+def _payload(seedling: int, nbytes: int) -> bytes:
+    """Build one payload; bounded LRU memo keyed on ``(seed, nbytes)``.
+
+    Replays rewrite the same (path, offset) pairs over and over, so most
+    calls are cache hits; misses generate the incompressible half in one
+    C-speed ``randbytes`` batch instead of a per-byte Python PRNG loop.
+    """
+    half = nbytes // 2
+    unit = _pattern_unit(seedling)
+    patterned = (unit * (half // 64 + 1))[:half]
+    return patterned + Random(seedling).randbytes(nbytes - half)
+
+
+def payload_seed(path: str, offset: int) -> int:
+    """Process-stable payload seed for a (path, offset) pair.
+
+    Uses ``zlib.crc32`` over the encoded pair rather than the builtin
+    ``hash()``: the builtin is salted per process (PYTHONHASHSEED), so
+    "deterministic" payloads would differ between two runs -- or between
+    the workers of a parallel experiment run -- unless the salt was
+    pinned externally.
+    """
+    raw = path.encode("utf-8") + b"\x00" + str(offset).encode("ascii")
+    return (zlib.crc32(raw) & 0xFFFF) or 1
+
+
 def payload_for(path: str, offset: int, nbytes: int) -> bytes:
     """Deterministic, *realistically compressible* data for a write.
 
     Real 1993 file data (source, mail, documents) compressed roughly 2:1
     with LZ-class compressors.  Half of each payload is a repeating
-    pattern (highly compressible), half is a cheap PRNG stream
+    pattern (highly compressible), half is a seeded PRNG stream
     (incompressible), so zlib lands near that 2:1 ratio -- which keeps
     the compression ablation (bench_x01) honest.
+
+    Generation is batched: the pattern half comes from a memoized 64-byte
+    unit, the random half from one ``Random(seed).randbytes`` call, and
+    whole payloads are memoized in a bounded LRU keyed on
+    ``(seed, nbytes)``.  The seed derives from ``zlib.crc32`` so payload
+    bytes are identical across processes regardless of PYTHONHASHSEED
+    (the one-time payload-bytes change vs. the old salted-``hash`` LCG
+    generator is intentional and documented in DESIGN.md).
     """
-    seedling = (hash((path, offset)) & 0xFFFF) or 1
-    half = nbytes // 2
-    pattern_unit = bytes(((seedling + i) & 0xFF) for i in range(64))
-    patterned = (pattern_unit * (half // 64 + 1))[:half]
-    out = bytearray(patterned)
-    state = seedling * 2654435761 % (2**32) or 1
-    rnd = bytearray()
-    for _ in range(nbytes - half):
-        state = (state * 1103515245 + 12345) % (2**31)
-        rnd.append((state >> 16) & 0xFF)
-    out += rnd
-    return bytes(out)
+    return _payload(payload_seed(path, offset), nbytes)
 
 
 @dataclass

@@ -1,0 +1,66 @@
+"""Perf-regression harness mechanics (not the throughput numbers).
+
+Wall-clock throughput is host-dependent, so these tests exercise the
+*machinery*: every bench runs and returns a positive finite number, the
+trajectory files round-trip, and the comparison flags exactly the
+regressions past the threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.analysis import perfbench
+
+
+def test_all_benches_run_and_return_positive():
+    benches = perfbench.run_benches(quick=True, repeats=1)
+    assert set(benches) == set(perfbench.BENCHES)
+    for name, value in benches.items():
+        assert math.isfinite(value) and value > 0, name
+
+
+def test_trajectory_roundtrip(tmp_path):
+    record = perfbench.trajectory_record({"x_per_s": 100.0}, stamp="20260101_000000")
+    path = perfbench.write_trajectory(record, str(tmp_path))
+    assert path.endswith("BENCH_20260101_000000.json")
+    with open(path, encoding="utf-8") as fh:
+        assert json.load(fh) == record
+    assert perfbench.latest_trajectory(str(tmp_path)) == record
+
+
+def test_latest_trajectory_picks_newest_and_honors_before(tmp_path):
+    old = perfbench.trajectory_record({"x_per_s": 1.0}, stamp="20250101_000000")
+    new = perfbench.trajectory_record({"x_per_s": 2.0}, stamp="20260101_000000")
+    perfbench.write_trajectory(old, str(tmp_path))
+    newest = perfbench.write_trajectory(new, str(tmp_path))
+    assert perfbench.latest_trajectory(str(tmp_path)) == new
+    # A run comparing itself against the baseline must skip its own file.
+    import os
+
+    assert (
+        perfbench.latest_trajectory(str(tmp_path), before=os.path.basename(newest))
+        == old
+    )
+
+
+def test_latest_trajectory_empty_dir(tmp_path):
+    assert perfbench.latest_trajectory(str(tmp_path)) is None
+    assert perfbench.latest_trajectory(str(tmp_path / "missing")) is None
+
+
+def test_compare_flags_only_real_regressions():
+    baseline = {"a_per_s": 100.0, "b_per_s": 100.0, "c_per_s": 100.0, "gone": 5.0}
+    current = {"a_per_s": 79.0, "b_per_s": 81.0, "c_per_s": 500.0, "new": 1.0}
+    rows = perfbench.compare(baseline, current, threshold=0.20)
+    assert [row[0] for row in rows] == ["a_per_s"]
+    name, old, new, drop = rows[0]
+    assert (old, new) == (100.0, 79.0)
+    assert abs(drop - 0.21) < 1e-9
+
+
+def test_compare_threshold_is_strict():
+    # A drop of exactly the threshold passes; only *more* than it fails.
+    rows = perfbench.compare({"a": 100.0}, {"a": 80.0}, threshold=0.20)
+    assert rows == []

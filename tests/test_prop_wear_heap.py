@@ -1,0 +1,138 @@
+"""Property tests: heap-based erased-sector selection == the O(n) scan.
+
+``SectorAllocator.peek_erased`` (lazily-invalidated per-bank heaps) must
+pick exactly the sector the old ``min`` scan picked, for every wear
+policy, under arbitrary interleavings of open/seal/erase/retire -- the
+operations that move sectors on and off the free list and change erase
+counts.  :func:`repro.storage.wear.choose_erased_sector_scan` is the
+reference implementation kept for exactly this purpose.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.flash import FlashMemory
+from repro.storage.allocator import SectorAllocator, SectorState
+from repro.storage.wear import (
+    WearPolicy,
+    choose_erased_sector,
+    choose_erased_sector_scan,
+)
+
+MB = 1024 * 1024
+
+
+def _fresh():
+    flash = FlashMemory(2 * MB, banks=4)
+    return flash, SectorAllocator(flash)
+
+
+def _assert_agree(allocator, flash, policy):
+    """Heap pick == scan pick for every bank subset shape we use."""
+    all_banks = list(range(flash.num_banks))
+    for banks in (all_banks, all_banks[:2], all_banks[2:], [0]):
+        assert choose_erased_sector(allocator, banks, policy) == (
+            choose_erased_sector_scan(allocator, banks, policy)
+        ), (banks, policy)
+
+
+# Operations: (kind, sector_choice) where sector_choice indexes into the
+# currently-eligible sector list for that kind, making every drawn
+# sequence applicable regardless of interleaving.
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["open", "seal_and_erase", "wear", "retire"]),
+        st.integers(min_value=0, max_value=63),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS, policy=st.sampled_from(list(WearPolicy)))
+def test_heap_matches_scan_under_random_operations(ops, policy):
+    flash, allocator = _fresh()
+    now = 0.0
+    for kind, pick in ops:
+        now += 1.0
+        if kind == "open":
+            free = sorted(allocator._free_set)
+            if free:
+                allocator.take_erased(free[pick % len(free)])
+        elif kind == "seal_and_erase":
+            opened = [s.index for s in allocator.sectors if s.state is SectorState.OPEN]
+            if opened:
+                sector = opened[pick % len(opened)]
+                allocator.seal(sector, now)
+                flash.erase_sector(sector, now)
+                allocator.mark_erased(sector)
+        elif kind == "wear":
+            # Age a *non-free* sector: erase counts can only move while a
+            # sector is off the free list (the device only erases sectors
+            # that hold data), so model exactly that.
+            opened = [s.index for s in allocator.sectors if s.state is SectorState.OPEN]
+            if opened:
+                sector = opened[pick % len(opened)]
+                for _ in range(1 + pick % 3):
+                    flash.erase_sector(sector, now)
+        elif kind == "retire":
+            free = sorted(allocator._free_set)
+            if free:
+                allocator.retire(free[pick % len(free)])
+        allocator.check_invariants()
+        _assert_agree(allocator, flash, policy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    retire_picks=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=8),
+    policy=st.sampled_from(list(WearPolicy)),
+)
+def test_heap_matches_scan_after_bad_block_retirement(retire_picks, policy):
+    """Retired sectors never surface from the heaps, matching the scan."""
+    flash, allocator = _fresh()
+    for pick in retire_picks:
+        free = sorted(allocator._free_set)
+        if not free:
+            break
+        allocator.retire(free[pick % len(free)])
+        allocator.check_invariants()
+        _assert_agree(allocator, flash, policy)
+        chosen = choose_erased_sector(allocator, list(range(flash.num_banks)), policy)
+        if chosen is not None:
+            assert allocator.sectors[chosen].state is SectorState.ERASED
+
+
+@settings(max_examples=30, deadline=None)
+@given(cycles=st.integers(min_value=1, max_value=12))
+def test_stale_wear_entries_are_discarded(cycles):
+    """A sector that leaves and rejoins the free list with higher wear
+    must not be picked on the strength of its stale (old-count) entry."""
+    flash, allocator = _fresh()
+    banks = list(range(flash.num_banks))
+    now = 0.0
+    victim = 0
+    for _ in range(cycles):
+        now += 1.0
+        allocator.take_erased(victim)
+        allocator.seal(victim, now)
+        flash.erase_sector(victim, now)
+        allocator.mark_erased(victim)
+    # victim now has the highest erase count; DYNAMIC must avoid it.
+    assert flash.sector_erase_count(victim) == cycles
+    chosen = choose_erased_sector(allocator, banks, WearPolicy.DYNAMIC)
+    assert chosen != victim
+    assert chosen == choose_erased_sector_scan(allocator, banks, WearPolicy.DYNAMIC)
+
+
+def test_exclude_skips_but_preserves_entries():
+    flash, allocator = _fresh()
+    banks = list(range(flash.num_banks))
+    first = allocator.peek_erased(banks, least_worn=True)
+    second = allocator.peek_erased(banks, least_worn=True, exclude=frozenset((first,)))
+    assert second != first
+    # The excluded entry must survive for the next unrestricted query.
+    assert allocator.peek_erased(banks, least_worn=True) == first
