@@ -3,10 +3,19 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-record experiments torture
+.PHONY: check test trace-smoke bench bench-record experiments torture
+
+# The default gate: unit tests, then the traced-run smoke (schema-valid
+# JSONL + hub/device accounting identity), then the perf-regression bench.
+check: test trace-smoke bench
 
 test:
 	$(PY) -m pytest -x -q
+
+# Tiny traced run: validates the JSONL trace against its schema, the
+# Chrome export, and the MetricsHub-vs-device accounting identity.
+trace-smoke:
+	$(PY) -m repro trace-smoke
 
 # Quick per-subsystem throughput benches; fails (exit 1) on a >20%
 # regression against the newest committed trajectory file.

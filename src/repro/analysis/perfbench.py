@@ -77,11 +77,19 @@ def bench_payload_memo(quick: bool = True) -> float:
     return total / MB / elapsed
 
 
+#: Condensed MetricsHub summary captured by the most recent
+#: :func:`bench_replay`; :func:`trajectory_record` embeds it so BENCH
+#: trajectory files carry the simulator's own accounting (is the bench
+#: still doing the same *work*?) alongside raw throughput.
+_last_hub_summary: Optional[dict] = None
+
+
 def bench_replay(quick: bool = True) -> float:
     """End-to-end replay throughput (trace records/s) on the paper org."""
     from repro.core.config import Organization, SystemConfig
     from repro.core.hierarchy import MobileComputer
 
+    global _last_hub_summary
     duration = 30.0 if quick else 120.0
     config = SystemConfig(
         organization=Organization.SOLID_STATE,
@@ -94,6 +102,16 @@ def bench_replay(quick: bool = True) -> float:
     start = time.perf_counter()
     report, _metrics = machine.run_workload("office", duration_s=duration)
     elapsed = time.perf_counter() - start
+    hub = machine.hub
+    _last_hub_summary = {
+        "sim_seconds": machine.clock.now,
+        "replay_records": report.records,
+        "flash_bytes_written": hub.device_stat("flash-data", "bytes_written"),
+        "flash_erases": hub.device_stat("flash-data", "erases"),
+        "writebuffer_bytes_in": hub.counter_value("writebuffer", "bytes_in"),
+        "writebuffer_flushed_bytes": hub.counter_value("writebuffer", "flushed_bytes"),
+        "gc_bytes_copied": hub.counter_value("flashstore", "gc_bytes_copied"),
+    }
     return report.records / elapsed
 
 
@@ -196,12 +214,18 @@ def run_benches(quick: bool = True, repeats: int = 3) -> Dict[str, float]:
 
 
 def trajectory_record(benches: Dict[str, float], stamp: Optional[str] = None) -> dict:
-    return {
+    record = {
         "stamp": stamp or time.strftime("%Y%m%d_%H%M%S"),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "benches": benches,
     }
+    # Seed-deterministic accounting from the replay bench: a trajectory
+    # whose throughput moved *and* whose hub numbers moved points at a
+    # workload change, not a perf change.
+    if _last_hub_summary is not None:
+        record["hub"] = dict(_last_hub_summary)
+    return record
 
 
 def write_trajectory(record: dict, out_dir: str) -> str:

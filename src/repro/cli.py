@@ -18,9 +18,23 @@ Commands:
 - ``torture``      -- crash-consistency torture: power-cut sweep plus
   bit-flip and program-failure campaigns; exits non-zero on any
   invariant violation.
+- ``metrics``      -- run a workload and print the merged
+  :class:`~repro.obs.MetricsHub` snapshot (``--json`` for the full tree).
+- ``trace-smoke``  -- tiny traced run validating the JSONL trace against
+  its schema, the Chrome export, and the hub/device accounting identity
+  (wired into ``make check``).
 
-Except for ``bench --json`` and ``experiments --profile`` (which write
-under ``benchmarks/``), everything prints plain ASCII tables.
+``run``, ``compare``, ``experiment``, ``experiments``, and ``metrics``
+accept ``--trace PATH``: the run executes with a process-wide
+:class:`~repro.obs.Tracer` attached and writes the event stream as JSONL
+to ``PATH``, a Chrome ``trace_event`` file to ``PATH.chrome.json``
+(load it in ``chrome://tracing`` or Perfetto), and a run manifest to
+``PATH.manifest.json``.  Tracing forces serial execution (worker
+processes cannot share the in-process tracer).
+
+Except for ``bench --json``, ``experiments --profile``, ``--trace``,
+and ``trace-smoke`` (which write under ``benchmarks/`` or the given
+path), everything prints plain ASCII tables.
 """
 
 from __future__ import annotations
@@ -291,6 +305,112 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    import json
+
+    machine = _machine_for(args)
+    machine.run_workload(args.workload, duration_s=args.duration)
+    now = machine.clock.now
+    if args.json:
+        print(json.dumps(machine.hub.snapshot(now), indent=2, sort_keys=True))
+        return 0
+    rows = [[name, f"{value:,.0f}"] for name, value in machine.hub.top_counters(args.top)]
+    print(
+        format_table(
+            ["counter", "value"],
+            rows,
+            title=f"top counters: {args.workload} on {args.organization} "
+            f"({args.duration:.0f} simulated seconds)",
+        )
+    )
+    dev_rows = []
+    for name in machine.hub.devices():
+        dev_rows.append(
+            [
+                name,
+                human_bytes(int(machine.hub.device_stat(name, "bytes_read"))),
+                human_bytes(int(machine.hub.device_stat(name, "bytes_written"))),
+                int(machine.hub.device_stat(name, "erases")),
+                f"{machine.hub.device_stat(name, 'energy_joules'):.3f}",
+            ]
+        )
+    print()
+    print(format_table(["device", "read", "written", "erases", "active_J"],
+                       dev_rows, title="devices"))
+    return 0
+
+
+def _cmd_trace_smoke(args) -> int:
+    import json
+    import time
+
+    from repro.obs import Tracer, run_manifest, runtime, validate_jsonl, write_manifest
+
+    os.makedirs(args.dir, exist_ok=True)
+    jsonl = os.path.join(args.dir, "trace_smoke.jsonl")
+    chrome = jsonl + ".chrome.json"
+    wall_start = time.perf_counter()
+    # Small capacity keeps the smoke's output bounded; the ring counts
+    # anything it drops, so truncation is visible in the manifest.
+    tracer = Tracer(capacity=1 << 16)
+    previous = runtime.set_tracer(tracer)
+    try:
+        # A tiny traced experiment exercises the full driver path
+        # (machines built internally pick the tracer up)...
+        ALL_EXPERIMENTS["E3"](quick=True)
+        # ...and one direct run supplies the machine for the
+        # hub-vs-device accounting identity check.
+        config = SystemConfig(organization=Organization.SOLID_STATE, seed=args.seed)
+        machine = MobileComputer(config)
+        machine.run_workload("office", duration_s=20.0)
+    finally:
+        runtime.set_tracer(previous)
+    tracer.to_jsonl(jsonl)
+    tracer.to_chrome(chrome)
+    write_manifest(
+        jsonl + ".manifest.json",
+        run_manifest(
+            command="trace-smoke",
+            config=config,
+            seed=args.seed,
+            sim_seconds=machine.clock.now,
+            wall_seconds=time.perf_counter() - wall_start,
+            extra={"events": len(tracer), "dropped": tracer.dropped},
+        ),
+    )
+
+    failures: List[str] = []
+    valid, errors = validate_jsonl(jsonl)
+    failures.extend(errors)
+    if valid == 0:
+        failures.append("trace produced no events")
+    with open(chrome, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not doc.get("traceEvents"):
+        failures.append("chrome export has no traceEvents")
+    hub_bytes = machine.hub.device_stat("flash-data", "bytes_written")
+    dev_bytes = machine.flash.stats.bytes_written
+    if hub_bytes != dev_bytes:
+        failures.append(
+            f"hub flash-data bytes_written {hub_bytes} != device counter {dev_bytes}"
+        )
+    try:
+        json.dumps(machine.hub.snapshot(machine.clock.now))
+    except (TypeError, ValueError) as exc:
+        failures.append(f"hub snapshot not JSON-able: {exc}")
+    if failures:
+        print(f"TRACE SMOKE FAILED ({len(failures)} problems):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"trace smoke ok: {valid} schema-valid events "
+        f"({tracer.dropped} dropped by the ring), chrome export parses, "
+        f"hub/device flash accounting identical ({int(dev_bytes):,} bytes)"
+    )
+    return 0
+
+
 def _cmd_torture(args) -> int:
     from repro.faults.torture import (
         TortureConfig,
@@ -353,16 +473,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--buffer-kb", type=float, default=1024.0)
         p.add_argument("--seed", type=int, default=0)
 
+    def add_trace_arg(p):
+        p.add_argument(
+            "--trace", metavar="PATH", default=None,
+            help="trace the run: JSONL events to PATH, Chrome trace to "
+            "PATH.chrome.json, manifest to PATH.manifest.json (forces -j 1)",
+        )
+
     run_p = sub.add_parser("run", help="run one workload on one organization")
     add_machine_args(run_p)
+    add_trace_arg(run_p)
 
     cmp_p = sub.add_parser("compare", help="run one workload on all organizations")
     add_machine_args(cmp_p)
+    add_trace_arg(cmp_p)
 
     exp_p = sub.add_parser("experiment", help="run experiment drivers (E1-E13)")
     exp_p.add_argument("id", help="experiment id (E1..E13) or 'all'")
     exp_p.add_argument("--full", action="store_true",
                        help="paper-length durations instead of quick mode")
+    add_trace_arg(exp_p)
 
     exps_p = sub.add_parser(
         "experiments",
@@ -380,6 +510,26 @@ def build_parser() -> argparse.ArgumentParser:
     exps_p.add_argument("--profile-dir",
                         default=os.path.join("benchmarks", "out", "profiles"),
                         help="where --profile writes <ID>.pstats/<ID>.txt")
+    add_trace_arg(exps_p)
+
+    met_p = sub.add_parser(
+        "metrics", help="run a workload and print the merged MetricsHub snapshot"
+    )
+    add_machine_args(met_p)
+    met_p.add_argument("--json", action="store_true",
+                       help="print the full snapshot tree as JSON")
+    met_p.add_argument("--top", type=int, default=20,
+                       help="rows in the top-counter table (default 20)")
+    add_trace_arg(met_p)
+
+    smoke_p = sub.add_parser(
+        "trace-smoke",
+        help="tiny traced run validating trace schema, Chrome export, and "
+        "hub/device accounting identity",
+    )
+    smoke_p.add_argument("--dir", default=os.path.join("benchmarks", "out"),
+                         help="output directory (default benchmarks/out)")
+    smoke_p.add_argument("--seed", type=int, default=0)
 
     bench_p = sub.add_parser(
         "bench", help="per-subsystem throughput benches + regression check"
@@ -420,11 +570,52 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "bench": _cmd_bench,
     "torture": _cmd_torture,
+    "metrics": _cmd_metrics,
+    "trace-smoke": _cmd_trace_smoke,
 }
+
+
+def _run_traced(args, argv: Optional[List[str]]) -> int:
+    """Execute the command with a process-wide tracer, then sink the
+    stream as JSONL + Chrome trace + run manifest next to ``args.trace``."""
+    import time
+
+    from repro.obs import Tracer, run_manifest, runtime, write_manifest
+
+    if getattr(args, "jobs", 1) > 1:
+        print("--trace forces serial execution (-j 1): worker processes "
+              "cannot share the in-process tracer", file=sys.stderr)
+        args.jobs = 1
+    tracer = Tracer()
+    previous = runtime.set_tracer(tracer)
+    wall_start = time.perf_counter()
+    try:
+        rc = _COMMANDS[args.command](args)
+    finally:
+        runtime.set_tracer(previous)
+    tracer.to_jsonl(args.trace)
+    tracer.to_chrome(args.trace + ".chrome.json")
+    write_manifest(
+        args.trace + ".manifest.json",
+        run_manifest(
+            command=" ".join(argv if argv is not None else sys.argv[1:]),
+            seed=getattr(args, "seed", None),
+            wall_seconds=time.perf_counter() - wall_start,
+            extra={"events": len(tracer), "dropped": tracer.dropped},
+        ),
+    )
+    print(
+        f"\ntrace written: {args.trace} ({len(tracer)} events, "
+        f"{tracer.dropped} dropped) + .chrome.json + .manifest.json",
+        file=sys.stderr,
+    )
+    return rc
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "trace", None):
+        return _run_traced(args, argv)
     return _COMMANDS[args.command](args)
 
 

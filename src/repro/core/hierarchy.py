@@ -47,6 +47,8 @@ from repro.mem.swap import FlashSwap, RawDiskSwap, SwapBackend
 from repro.mem.tlb import TLB
 from repro.mem.vm import VirtualMemory
 from repro.mem.xip import LaunchResult, ProgramStore, launch_load, launch_xip
+from repro.obs import MetricsHub
+from repro.obs import runtime as obs_runtime
 from repro.power.energy import PowerModel
 from repro.sim.engine import Engine
 from repro.sim.rand import substream
@@ -236,6 +238,68 @@ class MobileComputer:
         self.power.attach_timer(self.engine, config.power_settle_interval_s)
         self._rng = substream(config.seed, "machine")
 
+        # --- Observability. ----------------------------------------------
+        self.hub = MetricsHub()
+        self.tracer = None
+        self._register_observability()
+        # The CLI installs a process-wide tracer before building machines
+        # (experiment drivers construct them internally, so a tracer
+        # argument cannot be threaded through every call chain).
+        active = obs_runtime.get_tracer()
+        if active is not None:
+            self.attach_tracer(active)
+
+    # ------------------------------------------------------------------
+    # Observability (trace stream + metrics hub).
+    # ------------------------------------------------------------------
+
+    def _register_observability(self) -> None:
+        """(Re-)register every component registry and device with the hub.
+
+        Idempotent: registration is latest-wins per name, so this runs
+        again after ``reboot_after_power_loss`` rebuilds components.
+        """
+        hub = self.hub
+        hub.register(self.stats)
+        fs_stats = getattr(self.fs, "stats", None)
+        if fs_stats is not None:
+            hub.register(fs_stats)
+        if self.manager is not None:
+            hub.register(self.manager.stats)
+            hub.register(self.manager.buffer.stats)
+            if self.manager.compressor is not None:
+                hub.register(self.manager.compressor.stats)
+        if self.store is not None:
+            hub.register(self.store.stats)
+        if self.cache is not None:
+            hub.register(self.cache.stats)
+        hub.register(self.vm.stats)
+        hub.register(self.tlb.stats)
+        if self.swap is not None:
+            hub.register(self.swap.stats)
+        hub.register_device(self.dram)
+        if self.flash is not None:
+            hub.register_device(self.flash)
+        if self.disk is not None:
+            hub.register_device(self.disk)
+        hub.register_device(self.program_flash)
+
+    def attach_tracer(self, tracer) -> None:
+        """Point every traced component at ``tracer`` (None detaches)."""
+        self.tracer = tracer
+        self.engine.tracer = tracer
+        self.dram.tracer = tracer
+        if self.flash is not None:
+            self.flash.tracer = tracer
+        if self.disk is not None:
+            self.disk.tracer = tracer
+        self.program_flash.tracer = tracer
+        if self.store is not None:
+            self.store.tracer = tracer
+        if self.manager is not None:
+            self.manager.buffer.tracer = tracer
+        self.vm.tracer = tracer
+
     # ------------------------------------------------------------------
     # Programs (experiment E6).
     # ------------------------------------------------------------------
@@ -389,6 +453,11 @@ class MobileComputer:
             )
             self.fs = ConventionalFileSystem(self.cache)
         self.stats.counter("reboots").add(1)
+        # Rebuilt components replaced their registries and lost their
+        # tracer pointers; re-wire observability over the new objects.
+        self._register_observability()
+        if self.tracer is not None:
+            self.attach_tracer(self.tracer)
         return report
 
     def orderly_shutdown(self) -> None:

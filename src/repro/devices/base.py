@@ -125,6 +125,9 @@ class StorageDevice(ABC):
         self.capacity_bytes = capacity_bytes
         self.stats = DeviceStats()
         self._idle = _IdleTracker(idle_power_watts)
+        # Optional repro.obs.Tracer; devices emit one trace record per
+        # operation when set (attached by MobileComputer.attach_tracer).
+        self.tracer = None
 
     def check_range(self, offset: int, nbytes: int) -> None:
         if offset < 0 or nbytes < 0 or offset + nbytes > self.capacity_bytes:

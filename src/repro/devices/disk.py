@@ -155,6 +155,8 @@ class MagneticDisk(StorageDevice):
         self.check_range(offset, nbytes)
         result = self._access(offset, nbytes, now, write=False)
         self.stats.record_read(nbytes, result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "read", now, nbytes, result.latency)
         return bytes(self._data_view(offset, nbytes)), result
 
     def charge_read(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
@@ -167,6 +169,8 @@ class MagneticDisk(StorageDevice):
         self.check_range(offset, nbytes)
         result = self._access(offset, nbytes, now, write=False)
         self.stats.record_read(nbytes, result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "charge_read", now, nbytes, result.latency)
         return result
 
     def charge_write(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
@@ -174,6 +178,8 @@ class MagneticDisk(StorageDevice):
         self.check_range(offset, nbytes)
         result = self._access(offset, nbytes, now, write=True)
         self.stats.record_write(nbytes, result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "charge_write", now, nbytes, result.latency)
         return result
 
     def write(self, offset: int, data: bytes, now: float) -> AccessResult:
@@ -181,6 +187,8 @@ class MagneticDisk(StorageDevice):
         result = self._access(offset, len(data), now, write=True)
         self._store(offset, data)
         self.stats.record_write(len(data), result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "write", now, len(data), result.latency)
         return result
 
     # Disks can be large; allocate backing store lazily per 64 KB chunk so

@@ -60,6 +60,8 @@ class DRAM(StorageDevice):
             self.spec.active_read_power_w,
         )
         self.stats.record_read(nbytes, result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "read", now, nbytes, result.latency)
         return bytes(self._data[offset : offset + nbytes]), result
 
     def read_view(self, offset: int, nbytes: int, now: float) -> Tuple[memoryview, AccessResult]:
@@ -80,6 +82,8 @@ class DRAM(StorageDevice):
             self.spec.active_read_power_w,
         )
         self.stats.record_read(nbytes, result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "read", now, nbytes, result.latency)
         return memoryview(self._data)[offset : offset + nbytes], result
 
     def charge_read(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
@@ -93,6 +97,8 @@ class DRAM(StorageDevice):
             self.spec.active_read_power_w,
         )
         self.stats.record_read(nbytes, result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "charge_read", now, nbytes, result.latency)
         return result
 
     def charge_write(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
@@ -106,6 +112,8 @@ class DRAM(StorageDevice):
             self.spec.active_write_power_w,
         )
         self.stats.record_write(nbytes, result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "charge_write", now, nbytes, result.latency)
         return result
 
     def write(self, offset: int, data: bytes, now: float) -> AccessResult:
@@ -119,6 +127,8 @@ class DRAM(StorageDevice):
         )
         self._data[offset : offset + len(data)] = data
         self.stats.record_write(len(data), result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "write", now, len(data), result.latency)
         return result
 
     def power_loss(self) -> None:

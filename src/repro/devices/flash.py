@@ -206,6 +206,8 @@ class FlashMemory(StorageDevice):
             wait=wait,
         )
         self.stats.record_read(nbytes, result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "read", now, nbytes, result.latency)
         return bytes(self._data[offset : offset + nbytes]), result
 
     def write(self, offset: int, data: bytes, now: float) -> AccessResult:
@@ -241,6 +243,8 @@ class FlashMemory(StorageDevice):
             wait=wait,
         )
         self.stats.record_read(nbytes, result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "charge_read", now, nbytes, result.latency)
         return result
 
     def charge_write(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
@@ -275,6 +279,8 @@ class FlashMemory(StorageDevice):
             wait=wait,
         )
         self.stats.record_write(nbytes, result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "charge_write", now, nbytes, result.latency)
         return result
 
     def program(self, offset: int, data: bytes, now: float) -> AccessResult:
@@ -316,6 +322,8 @@ class FlashMemory(StorageDevice):
             wait=wait,
         )
         self.stats.record_write(nbytes, result)
+        if self.tracer is not None:
+            self.tracer.emit(self.name, "program", now, nbytes, result.latency)
         return result
 
     def erase_sector(self, sector: int, now: float) -> AccessResult:
@@ -354,6 +362,11 @@ class FlashMemory(StorageDevice):
             wait=stall,
         )
         self.stats.record_erase(result)
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.name, "erase", now, self.sector_bytes, result.latency,
+                detail={"sector": sector},
+            )
         return result
 
     # ------------------------------------------------------------------

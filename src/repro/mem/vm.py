@@ -90,6 +90,8 @@ class VirtualMemory:
         self.tlb = tlb
         self.cpu = cpu
         self.stats = StatRegistry("vm")
+        # Optional repro.obs.Tracer; page faults emit trace records.
+        self.tracer = None
         self._spaces: Dict[int, AddressSpace] = {}
         self._next_asid = 1
         # Clock-algorithm queue of resident, evictable pages:
@@ -282,6 +284,7 @@ class VirtualMemory:
             self.cpu.busy(seconds)
 
     def _fault_in(self, space: AddressSpace, entry: PageTableEntry) -> None:
+        start = self.clock.now
         self.clock.advance(self.fault_overhead_s)
         self._charge_cpu(self.fault_overhead_s)
         frame = self._allocate_frame()
@@ -292,6 +295,7 @@ class VirtualMemory:
             entry.swap_handle = None
             self.phys.write(frame, data)
             self.stats.counter("swap_in_faults").add(1)
+            kind = "swap_in"
         elif entry.backing is not None:
             # Previously-promoted file page that was dropped: refill it
             # from the file (a timed read through the storage stack).
@@ -300,10 +304,17 @@ class VirtualMemory:
                 data = data + bytes(PAGE_SIZE - len(data))
             self.phys.write(frame, data[:PAGE_SIZE])
             self.stats.counter("file_refill_faults").add(1)
+            kind = "file_refill"
         else:
             # Demand-zero anonymous page.
             self.phys.write(frame, bytes(PAGE_SIZE))
             self.stats.counter("zero_fill_faults").add(1)
+            kind = "zero_fill"
+        if self.tracer is not None:
+            self.tracer.emit(
+                "vm", "page_fault", start, PAGE_SIZE,
+                self.clock.now - start, outcome=kind,
+            )
         entry.phys_addr = frame
         entry.present = True
         entry.dirty = False
@@ -311,6 +322,7 @@ class VirtualMemory:
 
     def _copy_on_write(self, space: AddressSpace, entry: PageTableEntry) -> None:
         """Promote a flash-mapped (or shared) page into a private frame."""
+        start = self.clock.now
         self.clock.advance(self.fault_overhead_s)
         self._charge_cpu(self.fault_overhead_s)
         data = self.phys.read(entry.phys_addr, PAGE_SIZE)  # timed flash read
@@ -321,6 +333,11 @@ class VirtualMemory:
         entry.dirty = True
         self._resident[(space.asid, entry.vpn)] = entry
         self.stats.counter("cow_faults").add(1)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "vm", "page_fault", start, PAGE_SIZE,
+                self.clock.now - start, outcome="cow",
+            )
 
     def _allocate_frame(self) -> int:
         while True:

@@ -1,0 +1,80 @@
+"""Trace-record schema and JSONL validation.
+
+The JSONL sink writes one object per line with the fields below.  The
+validator is deliberately dependency-free (no jsonschema): ``make
+trace-smoke`` runs it over a freshly recorded stream in CI, and tests
+use it to pin the schema against accidental drift.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+#: field -> (required, allowed python types)
+TRACE_EVENT_SCHEMA: Dict[str, Tuple[bool, tuple]] = {
+    "t": (True, (int, float)),
+    "component": (True, (str,)),
+    "op": (True, (str,)),
+    "bytes": (True, (int,)),
+    "latency_s": (True, (int, float)),
+    "outcome": (True, (str,)),
+    "detail": (False, (dict,)),
+}
+
+
+def validate_event(obj: object) -> List[str]:
+    """Return a list of schema violations (empty when the event is valid)."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"event is {type(obj).__name__}, expected object"]
+    for field, (required, types) in TRACE_EVENT_SCHEMA.items():
+        if field not in obj:
+            if required:
+                errors.append(f"missing required field {field!r}")
+            continue
+        value = obj[field]
+        if not isinstance(value, types) or isinstance(value, bool):
+            errors.append(
+                f"field {field!r} is {type(value).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    for field in obj:
+        if field not in TRACE_EVENT_SCHEMA:
+            errors.append(f"unknown field {field!r}")
+    if not errors:
+        if obj["t"] < 0:
+            errors.append("t (sim time) cannot be negative")
+        if obj["bytes"] < 0:
+            errors.append("bytes cannot be negative")
+        if obj["latency_s"] < 0:
+            errors.append("latency_s cannot be negative")
+    return errors
+
+
+def validate_jsonl(path: str, max_errors: int = 20) -> Tuple[int, List[str]]:
+    """Validate a JSONL trace file.
+
+    Returns ``(valid_event_count, errors)``; validation stops collecting
+    after ``max_errors`` problems (the count keeps going).
+    """
+    count = 0
+    errors: List[str] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if len(errors) < max_errors:
+                    errors.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            problems = validate_event(obj)
+            if problems:
+                if len(errors) < max_errors:
+                    errors.append(f"line {lineno}: " + "; ".join(problems))
+            else:
+                count += 1
+    return count, errors

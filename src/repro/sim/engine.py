@@ -61,6 +61,9 @@ class Engine:
         self._seq = itertools.count()
         self._events_run = 0
         self._pending = 0
+        # Optional repro.obs.Tracer; when set, every executed event is
+        # emitted as an "engine" trace record.
+        self.tracer = None
 
     @property
     def events_run(self) -> int:
@@ -108,12 +111,19 @@ class Engine:
         """
         if interval <= 0.0:
             raise ValueError("repeat interval must be positive")
-        root = Event(
-            when=self.clock.now + (interval if first_delay is None else first_delay),
-            seq=next(self._seq),
-            action=lambda: None,
+        if first_delay is not None and first_delay < 0.0:
+            raise ValueError(
+                f"cannot schedule series {name!r} with negative first delay "
+                f"{first_delay}"
+            )
+        # Route through schedule_at so the root event gets the same
+        # past-time validation and pending accounting as every other
+        # event (a prior version pushed it onto the heap directly,
+        # letting a stale first_delay schedule it before clock.now).
+        root = self.schedule_at(
+            self.clock.now + (interval if first_delay is None else first_delay),
+            lambda: None,
             name=name,
-            _engine=self,
         )
 
         def fire() -> None:
@@ -129,8 +139,6 @@ class Engine:
                     self.schedule(interval, fire, name=name)
 
         root.action = fire
-        heapq.heappush(self._queue, root)
-        self._pending += 1
         return root
 
     def _retire(self, event: Event) -> None:
@@ -163,6 +171,11 @@ class Engine:
             event.action()
             self._events_run += 1
             ran += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "engine", "event", event.when, outcome="ok",
+                    detail={"name": event.name} if event.name else None,
+                )
         self.clock.advance_to(when)
         return ran
 
@@ -181,6 +194,11 @@ class Engine:
             event.action()
             self._events_run += 1
             ran += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "engine", "event", event.when, outcome="ok",
+                    detail={"name": event.name} if event.name else None,
+                )
         return ran
 
     def cancel_all(self) -> None:

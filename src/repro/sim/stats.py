@@ -62,6 +62,7 @@ class Histogram:
         self._pending = 0
         self.count = 0
         self.total = 0.0
+        self._sumsq = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
 
@@ -69,6 +70,7 @@ class Histogram:
         value = float(value)
         self.count += 1
         self.total += value
+        self._sumsq += value * value
         if self._min is None or value < self._min:
             self._min = value
         if self._max is None or value > self._max:
@@ -112,16 +114,25 @@ class Histogram:
 
     @property
     def stdev(self) -> float:
-        if len(self._samples) < 2:
+        """Exact sample standard deviation over *all* recorded values.
+
+        Computed from the running ``count``/``total``/sum-of-squares, so
+        it matches ``statistics.stdev`` on the full undecimated stream
+        (a prior version re-derived the mean from the decimated sample
+        list, biasing the result once decimation kicked in).
+        """
+        if self.count < 2:
             return 0.0
-        mean = sum(self._samples) / len(self._samples)
-        var = sum((s - mean) ** 2 for s in self._samples) / (len(self._samples) - 1)
+        mean = self.total / self.count
+        # Numerical noise can push the numerator a hair below zero.
+        var = max(0.0, (self._sumsq - self.count * mean * mean) / (self.count - 1))
         return math.sqrt(var)
 
     def summary(self) -> Dict[str, float]:
         return {
             "count": self.count,
             "mean": self.mean,
+            "stdev": self.stdev,
             "min": self.minimum,
             "max": self.maximum,
             "p50": self.percentile(50.0),
@@ -135,6 +146,7 @@ class Histogram:
         self._pending = 0
         self.count = 0
         self.total = 0.0
+        self._sumsq = 0.0
         self._min = None
         self._max = None
 
@@ -180,6 +192,19 @@ class TimeWeightedValue:
         area = self._area + self._value * (end - self._last_time)
         return area / elapsed
 
+    def reset(self, now: Optional[float] = None) -> None:
+        """Restart integration *in place*, keeping the current value.
+
+        The gauge object survives (callers hold direct references to
+        it), its current level carries over as the new initial value,
+        and the peak restarts from that level.
+        """
+        start = self._last_time if now is None else max(now, self._last_time)
+        self._area = 0.0
+        self._start = start
+        self._last_time = start
+        self.peak = self._value
+
 
 class StatRegistry:
     """A named bundle of metrics owned by one component."""
@@ -217,9 +242,17 @@ class StatRegistry:
             },
         }
 
-    def reset(self) -> None:
+    def reset(self, now: Optional[float] = None) -> None:
+        """Reset every metric *in place*.
+
+        Gauges are reset, not discarded: clearing the dict (as a prior
+        version did) destroyed gauge identity -- components holding a
+        reference kept updating an orphan object while ``gauge(name)``
+        handed out a fresh one, silently forking the metric.
+        """
         for counter in self.counters.values():
             counter.reset()
         for histogram in self.histograms.values():
             histogram.reset()
-        self.gauges.clear()
+        for gauge in self.gauges.values():
+            gauge.reset(now)

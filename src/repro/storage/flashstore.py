@@ -202,6 +202,9 @@ class FlashStore:
         self._seq = 0
         self.cleaning_stats = CleaningStats()
         self.stats = StatRegistry("flashstore")
+        # Optional repro.obs.Tracer (attached by MobileComputer); GC
+        # activity (cleans, retirements) emits trace records when set.
+        self.tracer = None
         self._index: Dict[Hashable, Location] = {}
         # Pool name -> currently open sector (logging mode).
         self._open: Dict[str, Optional[int]] = {"write": None, "read_mostly": None}
@@ -573,6 +576,11 @@ class FlashStore:
         self.allocator.retire(victim, remapped_to=dest_used)
         self.cleaning_stats.sectors_retired += 1
         self.stats.counter("sectors_retired").add(1)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "flashstore", "retire", self.clock.now, outcome="retired",
+                detail={"sector": victim},
+            )
 
     def _relocate_and_erase(self, victim: int, pool: str) -> None:
         info = self.allocator.info(victim)
@@ -587,10 +595,20 @@ class FlashStore:
             self.allocator.retire(victim, remapped_to=None)
             self.cleaning_stats.sectors_retired += 1
             self.stats.counter("sectors_retired").add(1)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "flashstore", "gc_clean", self.clock.now, reclaimed,
+                    outcome="erase_failed", detail={"sector": victim},
+                )
             return
         self.allocator.mark_erased(victim)
         self.cleaning_stats.sectors_cleaned += 1
         self.cleaning_stats.dead_bytes_reclaimed += reclaimed
+        if self.tracer is not None:
+            self.tracer.emit(
+                "flashstore", "gc_clean", self.clock.now, reclaimed,
+                outcome="cleaned", detail={"sector": victim},
+            )
 
     def _ensure_open_sector_for_gc(self, pool: str, length: int, forbidden: int) -> int:
         """Open-sector logic for the cleaner itself.

@@ -185,7 +185,11 @@ class StorageManager:
 
     def _restore_items(self, items: List[FlushItem]) -> None:
         for item in items:
-            self.buffer.restore(item.key, item.data, item.hot)
+            # first_write rides along so the re-buffered block keeps its
+            # original age clock (see WriteBuffer.restore).
+            self.buffer.restore(
+                item.key, item.data, item.hot, first_write=item.first_write
+            )
 
     def _persist_items(self, items: List[FlushItem]) -> None:
         if not items:

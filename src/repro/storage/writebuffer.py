@@ -47,13 +47,21 @@ class FlushReason(enum.Enum):
 
 @dataclass
 class FlushItem:
-    """A buffered block the caller must now persist to flash."""
+    """A buffered block the caller must now persist to flash.
+
+    ``first_write`` carries the entry's original age-clock origin so a
+    failed persist can :meth:`WriteBuffer.restore` the block *without*
+    restarting its age clock (restarting it let a block that kept
+    failing to persist evade the ``age_limit_s`` battery-loss bound
+    forever).
+    """
 
     key: Hashable
     data: bytes
     reason: FlushReason
     age_s: float
     hot: bool
+    first_write: float = 0.0
 
 
 @dataclass
@@ -86,6 +94,8 @@ class WriteBuffer:
         self.age_limit_s = age_limit_s
         self.low_watermark = low_watermark
         self.stats = StatRegistry("writebuffer")
+        # Optional repro.obs.Tracer (attached by MobileComputer).
+        self.tracer = None
         self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._bytes = 0
 
@@ -146,7 +156,11 @@ class WriteBuffer:
             # conservation identity (in == flushed + absorbed) holds.
             self.stats.counter("flushed_bytes").add(len(data))
             self.stats.counter(f"flushed_{FlushReason.WATERMARK.value}").add(1)
-            return [FlushItem(key, data, FlushReason.WATERMARK, 0.0, hot)]
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "writebuffer", "put", now, len(data), outcome="writethrough"
+                )
+            return [FlushItem(key, data, FlushReason.WATERMARK, 0.0, hot, now)]
 
         existing = self._entries.pop(key, None)
         if existing is not None:
@@ -165,25 +179,44 @@ class WriteBuffer:
         self._entries[key] = entry  # most-recently-written at the end
         self._bytes += len(data)
         self._track_occupancy()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "writebuffer", "put", now, len(data),
+                outcome="overwrite" if existing is not None else "buffered",
+            )
 
         if self._bytes <= self.capacity_bytes:
             return []
         return self._evict_to_watermark()
 
-    def restore(self, key: Hashable, data: bytes, hot: bool = True) -> None:
+    def restore(
+        self,
+        key: Hashable,
+        data: bytes,
+        hot: bool = True,
+        first_write: Optional[float] = None,
+    ) -> None:
         """Put a flush item *back* after a failed persist (graceful
         degradation): the data re-enters the buffer without recounting
         ``bytes_in`` and without evicting anything — it is the same
         logical write coming home, and evicting would just re-trigger
         the failing flush.  A newer buffered version wins and is kept.
+
+        ``first_write`` (from :attr:`FlushItem.first_write`) preserves
+        the entry's original age clock: the block has been dirty since
+        its first write, and the ``age_limit_s`` bound on battery-loss
+        exposure must keep counting from there.
         """
         if key in self._entries:
             return  # overwritten while the flush was in flight
         now = self.clock.now
+        origin = now if first_write is None else min(first_write, now)
         self._entries[key] = _Entry(
-            data=data, first_write=now, last_write=now, writes=1, hot=hot
+            data=data, first_write=origin, last_write=now, writes=1, hot=hot
         )
         self._bytes += len(data)
+        if self.tracer is not None:
+            self.tracer.emit("writebuffer", "restore", now, len(data))
         # The earlier flush accounting claimed these bytes left the
         # buffer; counters are monotonic, so the correction is a
         # separate counter netted out in absorption_ratio().
@@ -207,6 +240,10 @@ class WriteBuffer:
         self._bytes -= len(entry.data)
         self.stats.counter("died_bytes").add(len(entry.data))
         self._track_occupancy()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "writebuffer", "drop", self.clock.now, len(entry.data), outcome="died"
+            )
         return len(entry.data)
 
     # ------------------------------------------------------------------
@@ -220,12 +257,18 @@ class WriteBuffer:
         self.stats.counter(f"flushed_{reason.value}").add(1)
         self._charge_dram_read(len(entry.data))
         self._track_occupancy()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "writebuffer", "flush", self.clock.now, len(entry.data),
+                outcome=reason.value,
+            )
         return FlushItem(
             key=key,
             data=entry.data,
             reason=reason,
             age_s=self.clock.now - entry.first_write,
             hot=entry.hot,
+            first_write=entry.first_write,
         )
 
     def _evict_to_watermark(self) -> List[FlushItem]:
@@ -266,6 +309,10 @@ class WriteBuffer:
         self.stats.counter("lost_bytes").add(lost)
         self._entries.clear()
         self._bytes = 0
+        if self.tracer is not None:
+            self.tracer.emit(
+                "writebuffer", "power_loss", self.clock.now, lost, outcome="lost"
+            )
         return lost
 
     # ------------------------------------------------------------------

@@ -69,7 +69,9 @@ class TestHistogram:
         h = Histogram("lat")
         h.record(1.0)
         summary = h.summary()
-        assert set(summary) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+        assert set(summary) == {
+            "count", "mean", "stdev", "min", "max", "p50", "p95", "p99"
+        }
 
 
 class TestTimeWeightedValue:
