@@ -3,19 +3,28 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: check test trace-smoke bench bench-record experiments torture
+.PHONY: check test trace-smoke analyze-smoke bench bench-record experiments torture
 
 # The default gate: unit tests, then the traced-run smoke (schema-valid
-# JSONL + hub/device accounting identity), then the perf-regression bench.
-check: test trace-smoke bench
+# JSONL + hub/device accounting identity + clean online monitors), then
+# the trace-analytics smoke over that trace, then the perf bench.
+check: test trace-smoke analyze-smoke bench
 
 test:
 	$(PY) -m pytest -x -q
 
 # Tiny traced run: validates the JSONL trace against its schema, the
-# Chrome export, and the MetricsHub-vs-device accounting identity.
+# Chrome export, the MetricsHub-vs-device accounting identity, and zero
+# violations from all four stock online invariant monitors.
 trace-smoke:
 	$(PY) -m repro trace-smoke
+
+# Trace analytics over the smoke trace: the analyze report must render
+# and a trace diffed against itself must flag nothing (exit 1 if not).
+analyze-smoke:
+	$(PY) -m repro analyze benchmarks/out/trace_smoke.jsonl > /dev/null
+	$(PY) -m repro trace-diff benchmarks/out/trace_smoke.jsonl \
+		benchmarks/out/trace_smoke.jsonl --threshold 0 --check
 
 # Quick per-subsystem throughput benches; fails (exit 1) on a >20%
 # regression against the newest committed trajectory file.

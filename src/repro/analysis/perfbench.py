@@ -205,6 +205,28 @@ BENCHES: Dict[str, Callable[[bool], float]] = {
 # Trajectory files.
 # ----------------------------------------------------------------------
 
+#: Hub-summary keys a trace can independently re-derive from its own
+#: event stream (see ``repro.obs.analyze.trace_hub_metrics``):
+#: ``trace-diff --bench`` compares a trace against a trajectory point on
+#: exactly these, cross-linking the perf harness and the trace tooling.
+TRACE_COMPARABLE_HUB_KEYS = (
+    "flash_bytes_written",
+    "flash_erases",
+    "writebuffer_bytes_in",
+    "writebuffer_flushed_bytes",
+    "gc_bytes_copied",
+)
+
+
+def trajectory_hub_metrics(record: dict) -> Dict[str, float]:
+    """Trace-comparable subset of a trajectory record's ``hub`` block."""
+    hub = record.get("hub") or {}
+    return {
+        key: float(hub[key])
+        for key in TRACE_COMPARABLE_HUB_KEYS
+        if key in hub
+    }
+
 
 def run_benches(quick: bool = True, repeats: int = 3) -> Dict[str, float]:
     """Run every bench; best-of-``repeats`` throughput per subsystem."""

@@ -20,17 +20,32 @@ Commands:
   invariant violation.
 - ``metrics``      -- run a workload and print the merged
   :class:`~repro.obs.MetricsHub` snapshot (``--json`` for the full tree).
+- ``analyze``      -- streaming analytics over a recorded ``.jsonl``
+  trace: per-component/per-op latency percentiles, GC pause stats,
+  per-bank write amplification and wear, engine dispatch aggregation.
+- ``trace-diff``   -- compare two traces (or one trace against a
+  ``BENCH_*.json`` trajectory point via ``--bench``) and flag metric
+  deltas beyond a threshold; ``--check`` exits non-zero on any.
 - ``trace-smoke``  -- tiny traced run validating the JSONL trace against
-  its schema, the Chrome export, and the hub/device accounting identity
-  (wired into ``make check``).
+  its schema, the Chrome export, the hub/device accounting identity,
+  the online monitors (zero violations), and the ``analyze`` /
+  ``trace-diff`` tooling (wired into ``make check``).
 
-``run``, ``compare``, ``experiment``, ``experiments``, and ``metrics``
-accept ``--trace PATH``: the run executes with a process-wide
+``run``, ``compare``, ``experiment``, ``experiments``, ``metrics``, and
+``torture`` accept ``--trace PATH``: the run executes with a
 :class:`~repro.obs.Tracer` attached and writes the event stream as JSONL
 to ``PATH``, a Chrome ``trace_event`` file to ``PATH.chrome.json``
 (load it in ``chrome://tracing`` or Perfetto), and a run manifest to
-``PATH.manifest.json``.  Tracing forces serial execution (worker
-processes cannot share the in-process tracer).
+``PATH.manifest.json``.  Tracing composes with ``experiments -j N``:
+each job traces into its own shard and the shards merge
+deterministically (stable sort on ``(t, seq, shard)``), so the merged
+trace is byte-identical for any ``-j``.  ``--trace-mode single``
+requests the raw single-sink stream in emission order instead; it is
+incompatible with ``-j N`` and errors rather than silently serializing.
+
+The same commands accept ``--monitors`` (or repeated ``--monitor NAME``)
+to attach online invariant monitors (:mod:`repro.obs.monitor`) to the
+live stream; any violation is reported and the command exits non-zero.
 
 Except for ``bench --json``, ``experiments --profile``, ``--trace``,
 and ``trace-smoke`` (which write under ``benchmarks/`` or the given
@@ -211,17 +226,11 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-def _experiment_worker(job: Tuple[str, bool, Optional[str]]) -> Tuple[str, str]:
-    """Run one experiment driver; returns (id, rendered table).
-
-    Top-level so a multiprocessing pool can pickle it.  With a profile
-    directory set, the driver runs under cProfile and dumps both the raw
-    ``pstats`` file and a human-readable top-30 summary.
-    """
-    eid, full, profile_dir = job
+def _run_driver(eid: str, full: bool, profile_dir: Optional[str]) -> str:
+    """Run one experiment driver, optionally under cProfile."""
     driver = ALL_EXPERIMENTS[eid]
     if profile_dir is None:
-        return eid, driver(quick=not full).render()
+        return driver(quick=not full).render()
     import cProfile
     import pstats
 
@@ -233,7 +242,47 @@ def _experiment_worker(job: Tuple[str, bool, Optional[str]]) -> Tuple[str, str]:
     profile.dump_stats(os.path.join(profile_dir, f"{eid}.pstats"))
     with open(os.path.join(profile_dir, f"{eid}.txt"), "w", encoding="utf-8") as fh:
         pstats.Stats(profile, stream=fh).sort_stats("cumulative").print_stats(30)
-    return eid, result.render()
+    return result.render()
+
+
+def _experiment_worker(
+    job: Tuple[str, bool, Optional[str], Optional[str], Optional[List[str]]],
+) -> Tuple[str, str, Optional[dict]]:
+    """Run one experiment job; returns (id, rendered table, obs meta).
+
+    Top-level so a multiprocessing pool can pickle it.  With a shard
+    path or monitor names set, the job runs under its *own* tracer
+    (installed process-wide for the duration: workers never share a
+    tracer across processes), writes its trace shard, and attaches the
+    requested online monitors.  The returned meta dict carries event /
+    drop counts and the monitor summary; it is None for a plain job.
+    """
+    eid, full, profile_dir, shard_path, monitor_names = job
+    if shard_path is None and monitor_names is None:
+        return eid, _run_driver(eid, full, profile_dir), None
+
+    from repro.obs import Tracer, runtime
+    from repro.obs.monitor import MonitorSet, build_monitors
+
+    tracer = Tracer()
+    monitor_set = None
+    if monitor_names is not None:
+        monitor_set = MonitorSet(build_monitors(monitor_names))
+        monitor_set.attach(tracer)
+    previous = runtime.set_tracer(tracer)
+    try:
+        rendered = _run_driver(eid, full, profile_dir)
+    finally:
+        runtime.set_tracer(previous)
+        if monitor_set is not None:
+            monitor_set.detach()
+            monitor_set.finish()
+    meta: dict = {"events": len(tracer), "dropped": tracer.dropped}
+    if shard_path is not None:
+        tracer.to_jsonl(shard_path)
+    if monitor_set is not None:
+        meta["monitors"] = monitor_set.summary()
+    return eid, rendered, meta
 
 
 def _cmd_experiments(args) -> int:
@@ -249,20 +298,106 @@ def _cmd_experiments(args) -> int:
             file=sys.stderr,
         )
         return 2
-    profile_dir = args.profile_dir if args.profile else None
-    jobs = [(eid, args.full, profile_dir) for eid in ids]
-    if args.jobs > 1 and len(jobs) > 1:
-        import multiprocessing
+    import time
 
-        with multiprocessing.Pool(processes=min(args.jobs, len(jobs))) as pool:
-            outputs = pool.map(_experiment_worker, jobs)
-    else:
-        outputs = [_experiment_worker(job) for job in jobs]
-    # Pool.map preserves submission order, so parallel output is
-    # byte-identical to the serial run.
-    for _eid, rendered in outputs:
-        print(rendered)
-        print()
+    wall_start = time.perf_counter()
+    profile_dir = args.profile_dir if args.profile else None
+    trace = getattr(args, "trace", None)
+    monitor_names = _monitor_names(args)
+    shard_ctx = None
+    shard_paths: List[Optional[str]] = [None] * len(ids)
+    if trace is not None:
+        # One shard per *job* (not per worker process): shard content
+        # and order depend only on the seed-deterministic job and its
+        # submission index, so the merged trace is identical for any -j.
+        import tempfile
+
+        from repro.obs import shard_filename
+
+        shard_ctx = tempfile.TemporaryDirectory(prefix="repro-trace-shards-")
+        base = os.path.join(shard_ctx.name, "trace")
+        shard_paths = [shard_filename(base, i) for i in range(len(ids))]
+    jobs = [
+        (eid, args.full, profile_dir, shard_paths[i], monitor_names)
+        for i, eid in enumerate(ids)
+    ]
+    try:
+        if args.jobs > 1 and len(jobs) > 1:
+            import multiprocessing
+
+            with multiprocessing.Pool(processes=min(args.jobs, len(jobs))) as pool:
+                outputs = pool.map(_experiment_worker, jobs)
+        else:
+            outputs = [_experiment_worker(job) for job in jobs]
+        # Pool.map preserves submission order, so parallel output is
+        # byte-identical to the serial run.
+        for _eid, rendered, _meta in outputs:
+            print(rendered)
+            print()
+        if trace is not None:
+            from repro.obs import (
+                jsonl_to_chrome,
+                merge_shards_to_jsonl,
+                run_manifest,
+                write_manifest,
+            )
+
+            events = merge_shards_to_jsonl(
+                trace, [path for path in shard_paths if path is not None]
+            )
+            dropped = sum(meta["dropped"] for _e, _r, meta in outputs if meta)
+            jsonl_to_chrome(trace, trace + ".chrome.json", dropped=dropped)
+            write_manifest(
+                trace + ".manifest.json",
+                run_manifest(
+                    command=f"experiments {' '.join(ids)}",
+                    seed=None,
+                    wall_seconds=time.perf_counter() - wall_start,
+                    extra={
+                        "events": events,
+                        "dropped": dropped,
+                        "shards": len(ids),
+                        "jobs": args.jobs,
+                    },
+                ),
+            )
+            print(
+                f"\ntrace written: {trace} ({events} events from {len(ids)} "
+                f"shard(s), {dropped} dropped) + .chrome.json + .manifest.json",
+                file=sys.stderr,
+            )
+    finally:
+        if shard_ctx is not None:
+            shard_ctx.cleanup()
+    if monitor_names is not None:
+        return _report_job_monitors(outputs)
+    return 0
+
+
+def _report_job_monitors(outputs: List[Tuple[str, str, Optional[dict]]]) -> int:
+    """Aggregate per-job monitor summaries; non-zero on any violation."""
+    total = 0
+    names: List[str] = []
+    for eid, _rendered, meta in outputs:
+        summary = (meta or {}).get("monitors")
+        if summary is None:
+            continue
+        names = names or list(summary["monitors"])
+        count = summary["violation_count"]
+        total += count
+        for violation in summary["violations"][:20]:
+            print(
+                f"  {eid}: [{violation['monitor']}] t={violation['t']:.6f}: "
+                f"{violation['message']}",
+                file=sys.stderr,
+            )
+    if total:
+        print(f"MONITOR VIOLATIONS: {total} across jobs", file=sys.stderr)
+        return 1
+    print(
+        f"monitors ok: {len(names)} monitor(s) [{', '.join(names)}] "
+        f"per job, 0 violations"
+    )
     return 0
 
 
@@ -344,7 +479,16 @@ def _cmd_trace_smoke(args) -> int:
     import json
     import time
 
-    from repro.obs import Tracer, run_manifest, runtime, validate_jsonl, write_manifest
+    from repro.obs import (
+        Tracer,
+        jsonl_to_chrome,
+        run_manifest,
+        runtime,
+        validate_jsonl,
+        write_manifest,
+    )
+    from repro.obs.analyze import analyze_trace, diff_summaries
+    from repro.obs.monitor import MonitorSet, build_monitors
 
     os.makedirs(args.dir, exist_ok=True)
     jsonl = os.path.join(args.dir, "trace_smoke.jsonl")
@@ -353,6 +497,9 @@ def _cmd_trace_smoke(args) -> int:
     # Small capacity keeps the smoke's output bounded; the ring counts
     # anything it drops, so truncation is visible in the manifest.
     tracer = Tracer(capacity=1 << 16)
+    # Every stock online monitor rides along; any violation fails CI.
+    monitor_set = MonitorSet(build_monitors())
+    monitor_set.attach(tracer)
     previous = runtime.set_tracer(tracer)
     try:
         # A tiny traced experiment exercises the full driver path
@@ -365,8 +512,10 @@ def _cmd_trace_smoke(args) -> int:
         machine.run_workload("office", duration_s=20.0)
     finally:
         runtime.set_tracer(previous)
-    tracer.to_jsonl(jsonl)
-    tracer.to_chrome(chrome)
+        monitor_set.detach()
+        monitor_set.finish()
+    tracer.to_canonical_jsonl(jsonl)
+    jsonl_to_chrome(jsonl, chrome, dropped=tracer.dropped)
     write_manifest(
         jsonl + ".manifest.json",
         run_manifest(
@@ -375,7 +524,11 @@ def _cmd_trace_smoke(args) -> int:
             seed=args.seed,
             sim_seconds=machine.clock.now,
             wall_seconds=time.perf_counter() - wall_start,
-            extra={"events": len(tracer), "dropped": tracer.dropped},
+            extra={
+                "events": len(tracer),
+                "dropped": tracer.dropped,
+                "monitors": monitor_set.summary(),
+            },
         ),
     )
 
@@ -398,6 +551,18 @@ def _cmd_trace_smoke(args) -> int:
         json.dumps(machine.hub.snapshot(machine.clock.now))
     except (TypeError, ValueError) as exc:
         failures.append(f"hub snapshot not JSON-able: {exc}")
+    for violation in monitor_set.violations():
+        failures.append(f"monitor violation: {violation}")
+    # The analytics layer must digest its own freshly-recorded trace...
+    summary = analyze_trace(jsonl).summary()
+    if not summary["components"]:
+        failures.append("analyze produced no per-component stats")
+    elif all(s["latency"]["p95_s"] == 0.0 for s in summary["ops"].values()):
+        failures.append("analyze saw only zero latencies")
+    # ...and a trace diffed against itself must report no deltas.
+    self_diff = diff_summaries(summary, summary, threshold=0.0)
+    if self_diff:
+        failures.append(f"self trace-diff flagged {len(self_diff)} metric(s)")
     if failures:
         print(f"TRACE SMOKE FAILED ({len(failures)} problems):", file=sys.stderr)
         for failure in failures:
@@ -406,8 +571,85 @@ def _cmd_trace_smoke(args) -> int:
     print(
         f"trace smoke ok: {valid} schema-valid events "
         f"({tracer.dropped} dropped by the ring), chrome export parses, "
-        f"hub/device flash accounting identical ({int(dev_bytes):,} bytes)"
+        f"hub/device flash accounting identical ({int(dev_bytes):,} bytes), "
+        f"{len(monitor_set.monitors)} monitors clean, analyze + self-diff ok"
     )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.obs.analyze import analyze_trace, render_summary
+
+    try:
+        summary = analyze_trace(args.trace_file).summary()
+    except OSError as exc:
+        print(f"analyze: cannot read {args.trace_file}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(render_summary(summary, top_ops=args.top))
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    import json
+
+    from repro.obs.analyze import (
+        analyze_trace,
+        diff_against_trajectory,
+        diff_summaries,
+        render_diff,
+    )
+
+    if args.bench is None and len(args.traces) != 2:
+        print(
+            "trace-diff: need two traces (baseline current), or one trace "
+            "with --bench",
+            file=sys.stderr,
+        )
+        return 2
+    if args.bench is not None and len(args.traces) != 1:
+        print("trace-diff: --bench takes exactly one trace", file=sys.stderr)
+        return 2
+    try:
+        if args.bench is not None:
+            bench_path = args.bench
+            if os.path.isdir(bench_path):
+                from repro.analysis.perfbench import latest_trajectory
+
+                record = latest_trajectory(bench_path)
+                if record is None:
+                    print(
+                        f"trace-diff: no BENCH_*.json trajectory in {bench_path}",
+                        file=sys.stderr,
+                    )
+                    return 2
+            else:
+                with open(bench_path, encoding="utf-8") as fh:
+                    record = json.load(fh)
+            current = analyze_trace(args.traces[0]).summary()
+            rows = diff_against_trajectory(current, record, threshold=args.threshold)
+            label = f"{args.traces[0]} vs trajectory {record.get('stamp', '?')}"
+        else:
+            baseline = analyze_trace(args.traces[0]).summary()
+            current = analyze_trace(args.traces[1]).summary()
+            rows = diff_summaries(baseline, current, threshold=args.threshold)
+            label = f"{args.traces[0]} vs {args.traces[1]}"
+    except OSError as exc:
+        print(f"trace-diff: {exc}", file=sys.stderr)
+        return 2
+    print(f"trace-diff: {label} (threshold {args.threshold:.0%})")
+    print(render_diff(rows))
+    if args.check and rows:
+        print(
+            f"TRACE-DIFF FAILED: {len(rows)} metric(s) beyond "
+            f"{args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -476,23 +718,48 @@ def build_parser() -> argparse.ArgumentParser:
     def add_trace_arg(p):
         p.add_argument(
             "--trace", metavar="PATH", default=None,
-            help="trace the run: JSONL events to PATH, Chrome trace to "
-            "PATH.chrome.json, manifest to PATH.manifest.json (forces -j 1)",
+            help="trace the run: canonical JSONL events to PATH, Chrome trace "
+            "to PATH.chrome.json, manifest to PATH.manifest.json; composes "
+            "with experiments -j N via deterministic shard merge",
+        )
+        p.add_argument(
+            "--trace-mode", choices=["sharded", "single"], default="sharded",
+            help="'sharded' (default) writes the canonical merged stream, "
+            "byte-identical for any -j; 'single' writes the raw "
+            "emission-order stream and errors with -j N",
+        )
+
+    def add_monitor_args(p):
+        from repro.obs.monitor import MONITORS
+
+        p.add_argument(
+            "--monitors", action="store_true",
+            help="attach every stock online invariant monitor to the live "
+            "stream; any violation makes the command exit non-zero",
+        )
+        p.add_argument(
+            "--monitor", metavar="NAME", action="append", default=None,
+            choices=sorted(MONITORS),
+            help=f"attach one monitor by name (repeatable): "
+            f"{', '.join(sorted(MONITORS))}",
         )
 
     run_p = sub.add_parser("run", help="run one workload on one organization")
     add_machine_args(run_p)
     add_trace_arg(run_p)
+    add_monitor_args(run_p)
 
     cmp_p = sub.add_parser("compare", help="run one workload on all organizations")
     add_machine_args(cmp_p)
     add_trace_arg(cmp_p)
+    add_monitor_args(cmp_p)
 
     exp_p = sub.add_parser("experiment", help="run experiment drivers (E1-E13)")
     exp_p.add_argument("id", help="experiment id (E1..E13) or 'all'")
     exp_p.add_argument("--full", action="store_true",
                        help="paper-length durations instead of quick mode")
     add_trace_arg(exp_p)
+    add_monitor_args(exp_p)
 
     exps_p = sub.add_parser(
         "experiments",
@@ -511,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default=os.path.join("benchmarks", "out", "profiles"),
                         help="where --profile writes <ID>.pstats/<ID>.txt")
     add_trace_arg(exps_p)
+    add_monitor_args(exps_p)
 
     met_p = sub.add_parser(
         "metrics", help="run a workload and print the merged MetricsHub snapshot"
@@ -521,6 +789,34 @@ def build_parser() -> argparse.ArgumentParser:
     met_p.add_argument("--top", type=int, default=20,
                        help="rows in the top-counter table (default 20)")
     add_trace_arg(met_p)
+    add_monitor_args(met_p)
+
+    ana_p = sub.add_parser(
+        "analyze",
+        help="streaming analytics over a recorded .jsonl trace",
+    )
+    ana_p.add_argument("trace_file", help="JSONL trace file (from --trace)")
+    ana_p.add_argument("--json", action="store_true",
+                       help="print the full summary tree as JSON")
+    ana_p.add_argument("--top", type=int, default=20,
+                       help="rows in the busiest-ops table (default 20)")
+
+    diff_p = sub.add_parser(
+        "trace-diff",
+        help="flag metric deltas between two traces, or a trace and a "
+        "BENCH_*.json trajectory point",
+    )
+    diff_p.add_argument("traces", nargs="+",
+                        help="baseline and current trace files (one file "
+                        "with --bench)")
+    diff_p.add_argument("--bench", metavar="PATH", default=None,
+                        help="compare against a BENCH_*.json file, or the "
+                        "newest trajectory in a directory")
+    diff_p.add_argument("--threshold", type=float, default=0.10,
+                        help="relative delta that flags a metric "
+                        "(default 0.10)")
+    diff_p.add_argument("--check", action="store_true",
+                        help="exit non-zero when any metric is flagged")
 
     smoke_p = sub.add_parser(
         "trace-smoke",
@@ -557,6 +853,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cap the number of power-cut points (default: all)")
     tort_p.add_argument("--quick", action="store_true",
                         help="small sweep for CI smoke (a few seconds)")
+    add_trace_arg(tort_p)
+    add_monitor_args(tort_p)
     return parser
 
 
@@ -571,51 +869,167 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "torture": _cmd_torture,
     "metrics": _cmd_metrics,
+    "analyze": _cmd_analyze,
+    "trace-diff": _cmd_trace_diff,
     "trace-smoke": _cmd_trace_smoke,
 }
 
 
+def _monitor_names(args) -> Optional[List[str]]:
+    """Requested online-monitor names.
+
+    ``--monitor NAME`` (repeatable) selects specific monitors;
+    ``--monitors`` selects every stock monitor; None means monitoring
+    is off for this invocation.
+    """
+    explicit = getattr(args, "monitor", None)
+    if explicit:
+        return list(dict.fromkeys(explicit))
+    if getattr(args, "monitors", False):
+        from repro.obs.monitor import MONITORS
+
+        return list(MONITORS)
+    return None
+
+
+def _attach_monitors(tracer, monitor_names: Optional[List[str]]):
+    if monitor_names is None:
+        return None
+    from repro.obs.monitor import MonitorSet, build_monitors
+
+    monitor_set = MonitorSet(build_monitors(monitor_names))
+    monitor_set.attach(tracer)
+    return monitor_set
+
+
+def _finish_monitors(monitor_set) -> int:
+    """Detach + finalize a MonitorSet; non-zero when anything violated."""
+    if monitor_set is None:
+        return 0
+    monitor_set.detach()
+    monitor_set.finish()
+    if monitor_set.violation_count:
+        print(monitor_set.render(), file=sys.stderr)
+        return 1
+    print(monitor_set.render())
+    return 0
+
+
+def _neutralize_obs_flags(args) -> None:
+    """Strip trace/monitor flags before re-dispatching a command whose
+    observability is already being handled by the caller (otherwise
+    ``experiments`` would shard its own second trace)."""
+    if hasattr(args, "trace"):
+        args.trace = None
+    if hasattr(args, "monitors"):
+        args.monitors = False
+    if hasattr(args, "monitor"):
+        args.monitor = None
+
+
 def _run_traced(args, argv: Optional[List[str]]) -> int:
     """Execute the command with a process-wide tracer, then sink the
-    stream as JSONL + Chrome trace + run manifest next to ``args.trace``."""
+    stream as JSONL + Chrome trace + run manifest next to ``args.trace``.
+
+    The default mode writes the *canonical* ``(t, seq, shard)``-sorted
+    stream -- the same format the sharded ``experiments -j N`` merge
+    produces -- so any two traces of the same work are byte-comparable.
+    ``--trace-mode single`` keeps the raw emission-order sink.
+    """
     import time
 
-    from repro.obs import Tracer, run_manifest, runtime, write_manifest
+    from repro.obs import Tracer, jsonl_to_chrome, run_manifest, runtime, write_manifest
 
-    if getattr(args, "jobs", 1) > 1:
-        print("--trace forces serial execution (-j 1): worker processes "
-              "cannot share the in-process tracer", file=sys.stderr)
-        args.jobs = 1
+    trace = args.trace
+    single = getattr(args, "trace_mode", "sharded") == "single"
+    monitor_names = _monitor_names(args)
+    _neutralize_obs_flags(args)
     tracer = Tracer()
+    monitor_set = _attach_monitors(tracer, monitor_names)
     previous = runtime.set_tracer(tracer)
     wall_start = time.perf_counter()
     try:
         rc = _COMMANDS[args.command](args)
     finally:
         runtime.set_tracer(previous)
-    tracer.to_jsonl(args.trace)
-    tracer.to_chrome(args.trace + ".chrome.json")
+        if monitor_set is not None:
+            monitor_set.detach()
+            monitor_set.finish()
+    if single:
+        tracer.to_jsonl(trace)
+        tracer.to_chrome(trace + ".chrome.json")
+    else:
+        tracer.to_canonical_jsonl(trace)
+        jsonl_to_chrome(trace, trace + ".chrome.json", dropped=tracer.dropped)
+    extra = {
+        "events": len(tracer),
+        "dropped": tracer.dropped,
+        "trace_mode": "single" if single else "sharded",
+    }
+    if monitor_set is not None:
+        extra["monitors"] = monitor_set.summary()
     write_manifest(
-        args.trace + ".manifest.json",
+        trace + ".manifest.json",
         run_manifest(
             command=" ".join(argv if argv is not None else sys.argv[1:]),
             seed=getattr(args, "seed", None),
             wall_seconds=time.perf_counter() - wall_start,
-            extra={"events": len(tracer), "dropped": tracer.dropped},
+            extra=extra,
         ),
     )
     print(
-        f"\ntrace written: {args.trace} ({len(tracer)} events, "
+        f"\ntrace written: {trace} ({len(tracer)} events, "
         f"{tracer.dropped} dropped) + .chrome.json + .manifest.json",
         file=sys.stderr,
     )
+    if monitor_set is not None:
+        if monitor_set.violation_count:
+            print(monitor_set.render(), file=sys.stderr)
+            return rc or 1
+        print(monitor_set.render())
     return rc
+
+
+def _run_monitored(args) -> int:
+    """``--monitors`` without ``--trace``: feed the live stream through
+    the monitors via a small throwaway ring (observers see every event
+    regardless of ring size); nothing is written to disk."""
+    from repro.obs import Tracer, runtime
+
+    monitor_names = _monitor_names(args)
+    _neutralize_obs_flags(args)
+    tracer = Tracer(capacity=1024)
+    monitor_set = _attach_monitors(tracer, monitor_names)
+    previous = runtime.set_tracer(tracer)
+    try:
+        rc = _COMMANDS[args.command](args)
+    finally:
+        runtime.set_tracer(previous)
+    return rc or _finish_monitors(monitor_set)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "trace", None):
+    trace = getattr(args, "trace", None)
+    single = getattr(args, "trace_mode", "sharded") == "single"
+    if trace and single and getattr(args, "jobs", 1) > 1:
+        # Satellite of the sharded-merge work: the old single-sink path
+        # cannot compose with a worker pool, so it errors instead of
+        # silently forcing -j 1 as earlier versions did.
+        print(
+            "--trace-mode single cannot record across -j "
+            f"{args.jobs} worker processes; drop --trace-mode single "
+            "(the default sharded mode merges deterministically) or use -j 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.command == "experiments" and not (trace and single):
+        # experiments handles sharded tracing + per-job monitors itself.
+        return _COMMANDS[args.command](args)
+    if trace:
         return _run_traced(args, argv)
+    if _monitor_names(args) is not None:
+        return _run_monitored(args)
     return _COMMANDS[args.command](args)
 
 

@@ -248,6 +248,14 @@ class MobileComputer:
         active = obs_runtime.get_tracer()
         if active is not None:
             self.attach_tracer(active)
+            # Machine-lifecycle marker: monitors key per-machine state
+            # (buffered-byte conservation, read-only latches) off these
+            # so one trace spanning a sweep of machines checks each
+            # machine independently.
+            active.emit(
+                "machine", "build", self.clock.now,
+                detail={"organization": config.organization.value},
+            )
 
     # ------------------------------------------------------------------
     # Observability (trace stream + metrics hub).
@@ -297,6 +305,7 @@ class MobileComputer:
         if self.store is not None:
             self.store.tracer = tracer
         if self.manager is not None:
+            self.manager.tracer = tracer
             self.manager.buffer.tracer = tracer
         self.vm.tracer = tracer
 
@@ -458,6 +467,7 @@ class MobileComputer:
         self._register_observability()
         if self.tracer is not None:
             self.attach_tracer(self.tracer)
+            self.tracer.emit("machine", "reboot", self.clock.now)
         return report
 
     def orderly_shutdown(self) -> None:

@@ -126,8 +126,12 @@ class StorageDevice(ABC):
         self.stats = DeviceStats()
         self._idle = _IdleTracker(idle_power_watts)
         # Optional repro.obs.Tracer; devices emit one trace record per
-        # operation when set (attached by MobileComputer.attach_tracer).
-        self.tracer = None
+        # operation when set.  Defaults to the process-wide tracer so
+        # directly-built devices (torture harness, benches) trace too;
+        # MobileComputer.attach_tracer may override it later.
+        from repro.obs import runtime as _obs_runtime
+
+        self.tracer = _obs_runtime.get_tracer()
 
     def check_range(self, offset: int, nbytes: int) -> None:
         if offset < 0 or nbytes < 0 or offset + nbytes > self.capacity_bytes:

@@ -183,7 +183,7 @@ class FlashMemory(StorageDevice):
         self.check_range(offset, nbytes)
         if self.injector is not None:
             # May flip stored bits (read disturb) or cut power mid-read.
-            self.injector.on_read(self, offset, nbytes)
+            self.injector.on_read(self, offset, nbytes, now=now)
         # A read spanning banks is serviced bank-by-bank in order.
         latency = 0.0
         wait = 0.0
@@ -292,7 +292,7 @@ class FlashMemory(StorageDevice):
         if self.injector is not None:
             # May raise ProgramFailedError (transient/permanent) or cut
             # power mid-program, leaving a torn prefix in the medium.
-            self.injector.on_program(self, offset, data)
+            self.injector.on_program(self, offset, data, now=now)
 
         latency = 0.0
         wait = 0.0
@@ -323,7 +323,12 @@ class FlashMemory(StorageDevice):
         )
         self.stats.record_write(nbytes, result)
         if self.tracer is not None:
-            self.tracer.emit(self.name, "program", now, nbytes, result.latency)
+            # Bank detail feeds the per-bank wear / write-amplification
+            # series in repro.obs.analyze.
+            self.tracer.emit(
+                self.name, "program", now, nbytes, result.latency,
+                detail={"bank": self.bank_of_offset(offset)},
+            )
         return result
 
     def erase_sector(self, sector: int, now: float) -> AccessResult:
@@ -333,7 +338,7 @@ class FlashMemory(StorageDevice):
         if self.injector is not None:
             # May raise EraseFailedError or cut power mid-erase (leaving
             # the sector scrambled).  Failed attempts charge no wear.
-            self.injector.on_erase(self, sector)
+            self.injector.on_erase(self, sector, now=now)
         state = self._sectors[sector]
         state.erase_count += 1
         self.total_erases += 1
@@ -365,7 +370,7 @@ class FlashMemory(StorageDevice):
         if self.tracer is not None:
             self.tracer.emit(
                 self.name, "erase", now, self.sector_bytes, result.latency,
-                detail={"sector": sector},
+                detail={"sector": sector, "bank": self.bank_of_sector(sector)},
             )
         return result
 

@@ -84,6 +84,23 @@ class FaultInjector:
             "permanent_failures": 0,
             "power_cuts": 0,
         }
+        # Optional repro.obs.Tracer; every injected fault emits a
+        # "faults" trace record when set, so torture runs are analyzable
+        # with repro.obs.analyze.  Defaults to the process-wide tracer.
+        from repro.obs import runtime as _obs_runtime
+
+        self.tracer = _obs_runtime.get_tracer()
+
+    def _emit(
+        self,
+        op: str,
+        now: float,
+        nbytes: int = 0,
+        outcome: str = "injected",
+        detail: Optional[dict] = None,
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.emit("faults", op, now, nbytes, outcome=outcome, detail=detail)
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -109,7 +126,7 @@ class FaultInjector:
     # Hooks called by FlashMemory.
     # ------------------------------------------------------------------
 
-    def _tick(self, flash: FlashMemory, kind: str) -> None:
+    def _tick(self, flash: FlashMemory, kind: str, now: float) -> None:
         """Count one device operation; fire the scheduled power cut."""
         self.op_count += 1
         plan = self.plan
@@ -120,64 +137,107 @@ class FaultInjector:
         ):
             self.cut_fired = True
             self.counters["power_cuts"] += 1
+            self._emit(
+                "power_cut", now, outcome="cut",
+                detail={"op": self.op_count, "during": kind},
+            )
             raise PowerCutError(flash.name, self.op_count)
 
-    def on_read(self, flash: FlashMemory, offset: int, nbytes: int) -> None:
+    def on_read(
+        self, flash: FlashMemory, offset: int, nbytes: int, now: float = 0.0
+    ) -> None:
         if not self.armed:
             return
-        self._tick(flash, "read")
+        self._tick(flash, "read", now)
         if self.plan.bit_flip_per_read and self.rng.bernoulli(self.plan.bit_flip_per_read):
             victim = offset + self.rng.randint(0, nbytes - 1)
             bit = self.rng.randint(0, 7)
             flash.fault_flip_bit(victim, bit)
             self.counters["bit_flips"] += 1
+            self._emit(
+                "bit_flip", now, 1,
+                detail={"offset": victim, "bit": bit,
+                        "sector": flash.sector_of(victim)},
+            )
 
-    def on_program(self, flash: FlashMemory, offset: int, data: bytes) -> None:
+    def on_program(
+        self, flash: FlashMemory, offset: int, data: bytes, now: float = 0.0
+    ) -> None:
         if not self.armed:
             return
         sector = flash.sector_of(offset)
         try:
-            self._tick(flash, "program")
+            self._tick(flash, "program", now)
         except PowerCutError as cut:
             if self.plan.torn_ops:
                 torn = self.rng.randint(0, len(data))
                 flash.fault_apply_torn_program(offset, data, torn)
+                self._emit(
+                    "torn_program", now, torn, outcome="torn",
+                    detail={"sector": sector, "intended": len(data)},
+                )
                 raise PowerCutError(flash.name, cut.op_index, torn_bytes=torn) from None
             raise
         if sector in self.bad_sectors:
             self.counters["program_failures"] += 1
+            self._emit(
+                "program_fail", now, len(data), outcome="permanent",
+                detail={"sector": sector, "bad_block": True},
+            )
             raise ProgramFailedError(flash.name, sector, transient=False)
         if self.plan.program_fail_rate and self.rng.bernoulli(self.plan.program_fail_rate):
             self.counters["program_failures"] += 1
             if self.rng.bernoulli(self.plan.permanent_fraction):
                 self.bad_sectors.add(sector)
                 self.counters["permanent_failures"] += 1
+                self._emit(
+                    "program_fail", now, len(data), outcome="permanent",
+                    detail={"sector": sector},
+                )
                 raise ProgramFailedError(flash.name, sector, transient=False)
+            self._emit(
+                "program_fail", now, len(data), outcome="transient",
+                detail={"sector": sector},
+            )
             raise ProgramFailedError(flash.name, sector, transient=True)
 
-    def on_erase(self, flash: FlashMemory, sector: int) -> None:
+    def on_erase(self, flash: FlashMemory, sector: int, now: float = 0.0) -> None:
         if not self.armed:
             return
         try:
-            self._tick(flash, "erase")
+            self._tick(flash, "erase", now)
         except PowerCutError as cut:
             if self.plan.torn_ops:
                 chunk = bytes(self.rng.randint(0, 255) for _ in range(256))
                 reps = -(-flash.sector_bytes // len(chunk))
                 flash.fault_scramble_sector(sector, (chunk * reps)[: flash.sector_bytes])
+                self._emit(
+                    "torn_erase", now, outcome="torn", detail={"sector": sector},
+                )
                 raise PowerCutError(
                     flash.name, cut.op_index, torn_erase=True
                 ) from None
             raise
         if sector in self.bad_sectors:
             self.counters["erase_failures"] += 1
+            self._emit(
+                "erase_fail", now, outcome="permanent",
+                detail={"sector": sector, "bad_block": True},
+            )
             raise EraseFailedError(flash.name, sector, transient=False)
         if self.plan.erase_fail_rate and self.rng.bernoulli(self.plan.erase_fail_rate):
             self.counters["erase_failures"] += 1
             if self.rng.bernoulli(self.plan.permanent_fraction):
                 self.bad_sectors.add(sector)
                 self.counters["permanent_failures"] += 1
+                self._emit(
+                    "erase_fail", now, outcome="permanent",
+                    detail={"sector": sector},
+                )
                 raise EraseFailedError(flash.name, sector, transient=False)
+            self._emit(
+                "erase_fail", now, outcome="transient", detail={"sector": sector},
+            )
             raise EraseFailedError(flash.name, sector, transient=True)
 
     # ------------------------------------------------------------------

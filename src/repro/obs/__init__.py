@@ -16,17 +16,33 @@ subsystem:
   rev, wall/sim time) written next to experiment output.
 - :mod:`repro.obs.runtime` -- the process-wide active tracer the CLI
   installs and :class:`MobileComputer` picks up at build time.
+- :mod:`repro.obs.analyze` -- streaming trace analytics: per-op latency
+  percentiles, GC pause timelines, per-bank write amplification, engine
+  dispatch aggregation, and cross-run / trajectory diffs.
+- :mod:`repro.obs.monitor` -- online invariant monitors subscribed to
+  the live tracer, raising structured violations during a run.
 """
 
 from repro.obs.hub import MetricsHub, flatten_numeric
 from repro.obs.manifest import git_revision, run_manifest, write_manifest
 from repro.obs.schema import TRACE_EVENT_SCHEMA, validate_event, validate_jsonl
-from repro.obs.tracer import EVENT_FIELDS, Tracer
-from repro.obs import runtime
+from repro.obs.tracer import (
+    EVENT_FIELDS,
+    Tracer,
+    jsonl_to_chrome,
+    merge_shards_to_jsonl,
+    shard_filename,
+)
+from repro.obs import analyze, monitor, runtime
 
 __all__ = [
     "Tracer",
     "EVENT_FIELDS",
+    "shard_filename",
+    "merge_shards_to_jsonl",
+    "jsonl_to_chrome",
+    "analyze",
+    "monitor",
     "MetricsHub",
     "flatten_numeric",
     "TRACE_EVENT_SCHEMA",

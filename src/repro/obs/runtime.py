@@ -8,7 +8,11 @@ builds.  Code that constructs components directly can still pass or set
 tracers explicitly; this is only the default.
 
 The setting is per-process: a parallel experiment run's worker processes
-do not inherit it (the CLI forces ``-j 1`` while tracing).
+do not inherit it.  Instead each traced job installs its *own* tracer in
+whatever process runs it, writes a per-job shard file, and the parent
+merges the shards deterministically (see
+:func:`repro.obs.tracer.merge_shards_to_jsonl`) -- so ``--trace``
+composes with ``-j N`` without any cross-process tracer sharing.
 """
 
 from __future__ import annotations

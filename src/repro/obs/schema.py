@@ -20,6 +20,11 @@ TRACE_EVENT_SCHEMA: Dict[str, Tuple[bool, tuple]] = {
     "latency_s": (True, (int, float)),
     "outcome": (True, (str,)),
     "detail": (False, (dict,)),
+    # Stamped by the canonical merge (tracer.merge_shards_to_jsonl /
+    # Tracer.to_canonical_jsonl): position within the originating shard
+    # and the shard's job-submission index.  Absent from raw shard files.
+    "seq": (False, (int,)),
+    "shard": (False, (int,)),
 }
 
 
@@ -49,6 +54,9 @@ def validate_event(obj: object) -> List[str]:
             errors.append("bytes cannot be negative")
         if obj["latency_s"] < 0:
             errors.append("latency_s cannot be negative")
+        for field in ("seq", "shard"):
+            if field in obj and obj[field] < 0:
+                errors.append(f"{field} cannot be negative")
     return errors
 
 

@@ -21,12 +21,29 @@ Sinks: :meth:`Tracer.to_jsonl` writes one JSON object per line (the
 schema lives in :mod:`repro.obs.schema`); :meth:`Tracer.to_chrome`
 writes Chrome ``trace_event`` format -- load it at ``chrome://tracing``
 or https://ui.perfetto.dev for a flame-chart view per component.
+
+Live consumers (the online invariant monitors in
+:mod:`repro.obs.monitor`) :meth:`~Tracer.subscribe` a callable and see
+every event as it is emitted -- including events the ring later drops,
+so a monitor's view is never truncated.
+
+**Sharding.**  A parallel run (``experiments -j N --trace``) gives each
+job its own tracer and writes one *shard* file per job
+(:func:`shard_filename`); :func:`merge_shards_to_jsonl` then merges the
+shards into one canonical stream: a stable sort on ``(t, seq, shard)``
+where ``seq`` is the event's position within its shard and ``shard`` is
+the job's submission index.  Because both keys are functions of the
+(seed-deterministic) job content and submission order -- never of which
+worker process ran the job or when -- the merged file is byte-identical
+for any ``-j``.  Serial traced runs write through the same canonical
+path (one shard) so every final ``.jsonl`` carries ``seq``/``shard``
+fields and tools never see two formats.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 #: Ordered field names of one trace record (the JSONL object keys).
 EVENT_FIELDS = ("t", "component", "op", "bytes", "latency_s", "outcome", "detail")
@@ -46,6 +63,7 @@ class Tracer:
         self.emitted = 0
         #: Events discarded because the ring buffer filled.
         self.dropped = 0
+        self._observers: List[Callable[[_EventTuple], None]] = []
 
     def emit(
         self,
@@ -64,7 +82,21 @@ class Tracer:
             drop = self.capacity // 2
             del events[:drop]
             self.dropped += drop
-        events.append((t, component, op, nbytes, latency_s, outcome, detail))
+        record = (t, component, op, nbytes, latency_s, outcome, detail)
+        events.append(record)
+        if self._observers:
+            for observer in self._observers:
+                observer(record)
+
+    def subscribe(self, observer: Callable[[_EventTuple], None]) -> None:
+        """Call ``observer(record)`` on every future emit (before any
+        ring drop, so live consumers see the full stream)."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[_EventTuple], None]) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     def __len__(self) -> int:
         return len(self._events)
@@ -109,6 +141,21 @@ class Tracer:
                 n += 1
         return n
 
+    def to_canonical_jsonl(self, path: str, shard: int = 0) -> int:
+        """Write buffered events through the canonical merge path.
+
+        Equivalent to :meth:`to_jsonl` into a shard file followed by
+        :func:`merge_shards_to_jsonl` over that single shard: events are
+        stable-sorted on ``(t, seq)`` and stamped with ``seq``/``shard``
+        fields.  Serial traced runs use this so their output format and
+        ordering match a merged parallel run exactly.
+        """
+        indexed = [
+            (record[0], seq, shard, event)
+            for seq, (record, event) in enumerate(zip(self._events, self.events()))
+        ]
+        return _write_merged(path, indexed)
+
     def to_chrome(self, path: str) -> int:
         """Write Chrome ``trace_event`` format (complete 'X' events).
 
@@ -143,3 +190,96 @@ class Tracer:
             json.dump(doc, fh)
             fh.write("\n")
         return len(out)
+
+
+# ----------------------------------------------------------------------
+# Shards and the canonical deterministic merge.
+# ----------------------------------------------------------------------
+
+
+def shard_filename(base: str, index: int) -> str:
+    """Per-job shard path for a parallel traced run."""
+    return f"{base}.shard{index:04d}.jsonl"
+
+
+def _write_merged(path: str, indexed: List[Tuple[float, int, int, dict]]) -> int:
+    """Sort ``(t, seq, shard, event)`` rows and write canonical JSONL."""
+    indexed.sort(key=lambda row: (row[0], row[1], row[2]))
+    n = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for _t, seq, shard, event in indexed:
+            event["seq"] = seq
+            event["shard"] = shard
+            fh.write(json.dumps(event, sort_keys=True))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def merge_shards_to_jsonl(out_path: str, shard_paths: Iterable[str]) -> int:
+    """Merge per-job shard files into one canonical trace.
+
+    Events are stable-sorted on ``(t, seq, shard)``: ``seq`` is the
+    event's line number within its shard (emission order after any ring
+    drop) and ``shard`` is the shard's position in ``shard_paths`` (job
+    submission order).  Both keys depend only on job content and
+    submission order, so the merged file is identical for any worker
+    count.  Returns the number of events written.
+    """
+    indexed: List[Tuple[float, int, int, dict]] = []
+    for shard, path in enumerate(shard_paths):
+        with open(path, encoding="utf-8") as fh:
+            seq = 0
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                indexed.append((event["t"], seq, shard, event))
+                seq += 1
+    return _write_merged(out_path, indexed)
+
+
+def jsonl_to_chrome(jsonl_path: str, chrome_path: str, dropped: int = 0) -> int:
+    """Convert a (merged) JSONL trace to Chrome ``trace_event`` format.
+
+    Mirrors :meth:`Tracer.to_chrome` field-for-field so serial and
+    merged parallel traces render identically in the viewer.
+    """
+    tids: Dict[str, int] = {}
+    out = []
+    with open(jsonl_path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            component = event["component"]
+            tid = tids.setdefault(component, len(tids) + 1)
+            args: Dict[str, object] = {
+                "bytes": event["bytes"],
+                "outcome": event["outcome"],
+            }
+            if event.get("detail"):
+                args.update(event["detail"])
+            out.append(
+                {
+                    "name": event["op"],
+                    "cat": component,
+                    "ph": "X",
+                    "ts": event["t"] * 1e6,
+                    "dur": event["latency_s"] * 1e6,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    doc = {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"dropped_events": dropped},
+    }
+    with open(chrome_path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return len(out)

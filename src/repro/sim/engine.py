@@ -172,9 +172,13 @@ class Engine:
             self._events_run += 1
             ran += 1
             if self.tracer is not None:
+                # "pending" is the live queue depth after this dispatch;
+                # the queue-depth monitor bounds it online.
+                detail = {"pending": self._pending}
+                if event.name:
+                    detail["name"] = event.name
                 self.tracer.emit(
-                    "engine", "event", event.when, outcome="ok",
-                    detail={"name": event.name} if event.name else None,
+                    "engine", "event", event.when, outcome="ok", detail=detail,
                 )
         self.clock.advance_to(when)
         return ran
@@ -195,9 +199,13 @@ class Engine:
             self._events_run += 1
             ran += 1
             if self.tracer is not None:
+                # "pending" is the live queue depth after this dispatch;
+                # the queue-depth monitor bounds it online.
+                detail = {"pending": self._pending}
+                if event.name:
+                    detail["name"] = event.name
                 self.tracer.emit(
-                    "engine", "event", event.when, outcome="ok",
-                    detail={"name": event.name} if event.name else None,
+                    "engine", "event", event.when, outcome="ok", detail=detail,
                 )
         return ran
 

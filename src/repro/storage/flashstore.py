@@ -202,9 +202,14 @@ class FlashStore:
         self._seq = 0
         self.cleaning_stats = CleaningStats()
         self.stats = StatRegistry("flashstore")
-        # Optional repro.obs.Tracer (attached by MobileComputer); GC
-        # activity (cleans, retirements) emits trace records when set.
-        self.tracer = None
+        # Optional repro.obs.Tracer; writes, GC activity (copies,
+        # cleans, retirements) and ECC outcomes emit trace records when
+        # set.  Defaults to the process-wide tracer so directly-built
+        # stores (torture harness, recovery) trace too;
+        # MobileComputer.attach_tracer may override it later.
+        from repro.obs import runtime as _obs_runtime
+
+        self.tracer = _obs_runtime.get_tracer()
         self._index: Dict[Hashable, Location] = {}
         # Pool name -> currently open sector (logging mode).
         self._open: Dict[str, Optional[int]] = {"write": None, "read_mostly": None}
@@ -316,10 +321,28 @@ class FlashStore:
                 f"holds ({max_payload}); chunk it"
             )
         self.stats.counter("user_bytes_written").add(len(data))
+        t0 = self.clock.now
         if self.mode is StoreMode.IN_PLACE:
             self._write_in_place(key, data)
+            sector = self._slot_of[key][0]
+            outcome = "in_place"
         else:
             self._write_logging(key, data, hot)
+            sector = self._index[key].sector
+            outcome = "logged"
+        if self.tracer is not None:
+            # Logical store write with its destination bank: the
+            # denominator of per-bank write amplification (the matching
+            # physical bytes come from the device's "program" events).
+            self.tracer.emit(
+                "flashstore", "write", t0, len(data), self.clock.now - t0,
+                outcome=outcome,
+                detail={
+                    "device": self.flash.name,
+                    "sector": sector,
+                    "bank": self.flash.bank_of_sector(sector),
+                },
+            )
 
     def read_block(self, key: Hashable) -> bytes:
         if self.mode is StoreMode.IN_PLACE:
@@ -347,8 +370,18 @@ class FlashStore:
             return data
         if status == "failed":
             self.stats.counter("ecc_uncorrectable").add(1)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "flashstore", "ecc", self.clock.now, len(data),
+                    outcome="uncorrectable",
+                )
             raise CorruptBlockError(key)
         self.stats.counter("ecc_corrected").add(1)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "flashstore", "ecc", self.clock.now, len(data),
+                outcome="corrected", detail={"scrubbed": scrub},
+            )
         if scrub:
             self.stats.counter("scrub_rewrites").add(1)
             self._write_logging(key, fixed, hot=False)
@@ -538,6 +571,8 @@ class FlashStore:
         info = self.allocator.info(victim)
         live = sorted(info.blocks.items())  # (offset, (key, length))
         dest_used: Optional[int] = None
+        t0 = self.clock.now
+        copied_bytes = 0
         for offset, (key, length) in live:
             absolute = victim * self.allocator.sector_bytes + offset
             data = self._do_read(absolute, length)
@@ -549,9 +584,18 @@ class FlashStore:
             self._index[key] = new_loc
             self.cleaning_stats.live_bytes_copied += length
             self.stats.counter("gc_bytes_copied").add(length)
+            copied_bytes += length
             for listener in self.relocation_listeners:
                 listener(key, old_loc, new_loc)
             dest_used = new_loc.sector
+        if copied_bytes and self.tracer is not None:
+            # Cleaning overhead: live bytes GC had to copy out of the
+            # victim (latency is the sim-time cost of the copies).
+            self.tracer.emit(
+                "flashstore", "gc_copy", t0, copied_bytes,
+                self.clock.now - t0,
+                detail={"sector": victim, "blocks": len(live)},
+            )
         return dest_used
 
     def _place_relocated(
@@ -585,6 +629,9 @@ class FlashStore:
     def _relocate_and_erase(self, victim: int, pool: str) -> None:
         info = self.allocator.info(victim)
         reclaimed = info.dead_bytes
+        # The GC pause this clean imposes: sim time from the first
+        # relocation read through the erase (emitted as event latency).
+        t0 = self.clock.now
         self._relocate_live_blocks(victim, pool)
         try:
             self._do_erase(victim)
@@ -598,6 +645,7 @@ class FlashStore:
             if self.tracer is not None:
                 self.tracer.emit(
                     "flashstore", "gc_clean", self.clock.now, reclaimed,
+                    self.clock.now - t0,
                     outcome="erase_failed", detail={"sector": victim},
                 )
             return
@@ -607,6 +655,7 @@ class FlashStore:
         if self.tracer is not None:
             self.tracer.emit(
                 "flashstore", "gc_clean", self.clock.now, reclaimed,
+                self.clock.now - t0,
                 outcome="cleaned", detail={"sector": victim},
             )
 

@@ -66,6 +66,12 @@ class StorageManager:
         self.dram = dram
         self.compressor = compressor
         self.stats = StatRegistry("storage-manager")
+        # Optional repro.obs.Tracer; read-only degradation transitions
+        # emit a trace record when set.  Defaults to the process-wide
+        # tracer; MobileComputer.attach_tracer may override it later.
+        from repro.obs import runtime as _obs_runtime
+
+        self.tracer = _obs_runtime.get_tracer()
         self._flush_timer = None
         # Items popped from the buffer but not yet persisted: volatile
         # state a power failure loses alongside the buffer itself.
@@ -133,6 +139,19 @@ class StorageManager:
             self.read_only = True
             self.read_only_reason = reason
             self.stats.counter("read_only_transitions").add(1)
+            if self.tracer is not None:
+                # "transition" carries the counter value so the online
+                # monitor can assert the transition is single-shot.
+                self.tracer.emit(
+                    "storage-manager", "read_only", self.clock.now,
+                    outcome="degraded",
+                    detail={
+                        "reason": reason,
+                        "transition": int(
+                            self.stats.counter("read_only_transitions").value
+                        ),
+                    },
+                )
 
     def write_block(self, key: Hashable, data: bytes) -> None:
         if self.read_only:

@@ -180,9 +180,14 @@ class WriteBuffer:
         self._bytes += len(data)
         self._track_occupancy()
         if self.tracer is not None:
+            # "prev" (bytes of the overwritten version) lets a live
+            # conservation monitor track buffered bytes exactly.
             self.tracer.emit(
                 "writebuffer", "put", now, len(data),
                 outcome="overwrite" if existing is not None else "buffered",
+                detail=(
+                    {"prev": len(existing.data)} if existing is not None else None
+                ),
             )
 
         if self._bytes <= self.capacity_bytes:
@@ -261,6 +266,10 @@ class WriteBuffer:
             self.tracer.emit(
                 "writebuffer", "flush", self.clock.now, len(entry.data),
                 outcome=reason.value,
+                detail={
+                    "age_s": self.clock.now - entry.first_write,
+                    "limit_s": self.age_limit_s,
+                },
             )
         return FlushItem(
             key=key,

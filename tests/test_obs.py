@@ -12,6 +12,7 @@ The regression tests here each pin a specific latent bug:
 """
 
 import json
+import os
 import statistics
 
 import pytest
@@ -597,14 +598,26 @@ class TestCLI:
         assert manifest["events"] == count
         assert runtime.get_tracer() is None  # tracer uninstalled after
 
-    def test_trace_forces_serial(self, capsys, tmp_path):
-        from repro.cli import build_parser, main
+    def test_trace_composes_with_parallel_jobs(self, capsys, tmp_path):
+        from repro.cli import main
 
-        args = build_parser().parse_args(["experiments", "--trace", "x"])
-        assert args.jobs == 1  # default; the forcing path warns when >1
         path = str(tmp_path / "e.jsonl")
         assert main(["experiments", "E1", "-j", "4", "--trace", path]) == 0
-        assert "forces serial" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "forces serial" not in err  # old -j 1 forcing is gone
+        assert "trace written" in err
+        count, errors = validate_jsonl(path)
+        assert errors == [] and count > 0
+
+    def test_single_sink_trace_rejects_parallel_jobs(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = str(tmp_path / "e.jsonl")
+        rc = main(["experiments", "E1", "E2", "-j", "2", "--trace", path,
+                   "--trace-mode", "single"])
+        assert rc == 2
+        assert "cannot record across -j 2" in capsys.readouterr().err
+        assert not os.path.exists(path)
 
     def test_trace_smoke(self, capsys, tmp_path):
         from repro.cli import main
