@@ -3,12 +3,13 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: check test trace-smoke analyze-smoke bench bench-record experiments torture
+.PHONY: check test trace-smoke analyze-smoke e14-smoke bench bench-record experiments torture
 
 # The default gate: unit tests, then the traced-run smoke (schema-valid
 # JSONL + hub/device accounting identity + clean online monitors), then
-# the trace-analytics smoke over that trace, then the perf bench.
-check: test trace-smoke analyze-smoke bench
+# the trace-analytics smoke over that trace, then the multi-client
+# contention smoke, then the perf bench.
+check: test trace-smoke analyze-smoke e14-smoke bench
 
 test:
 	$(PY) -m pytest -x -q
@@ -25,6 +26,12 @@ analyze-smoke:
 	$(PY) -m repro analyze benchmarks/out/trace_smoke.jsonl > /dev/null
 	$(PY) -m repro trace-diff benchmarks/out/trace_smoke.jsonl \
 		benchmarks/out/trace_smoke.jsonl --threshold 0 --check
+
+# Quick 2-client contention run through the kernel request path: every
+# stock online monitor attached, non-zero exit on any violation.
+e14-smoke:
+	$(PY) -m repro experiments E14 -j 2 \
+		--trace benchmarks/out/e14_smoke.jsonl --monitors > /dev/null
 
 # Quick per-subsystem throughput benches; fails (exit 1) on a >20%
 # regression against the newest committed trajectory file.

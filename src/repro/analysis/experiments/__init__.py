@@ -1,4 +1,4 @@
-"""Experiment drivers E1-E13.
+"""Experiment drivers E1-E14.
 
 Each module exposes ``run(quick: bool = False, **kwargs) ->
 ExperimentResult``.  ``ALL_EXPERIMENTS`` maps experiment ids to drivers
@@ -20,6 +20,7 @@ from repro.analysis.experiments import (
     e11_battery,
     e12_full_system,
     e13_fault_tolerance,
+    e14_contention,
     x01_compression,
     x02_flush_policy,
 )
@@ -39,6 +40,7 @@ ALL_EXPERIMENTS = {
     "E11": e11_battery.run,
     "E12": e12_full_system.run,
     "E13": e13_fault_tolerance.run,
+    "E14": e14_contention.run,
     "X1": x01_compression.run,
     "X2": x02_flush_policy.run,
 }

@@ -172,11 +172,28 @@ def _metric_rows(metrics) -> list:
 
 def _cmd_run(args) -> int:
     machine = _machine_for(args)
-    report, metrics = machine.run_workload(args.workload, duration_s=args.duration)
+    clients = getattr(args, "clients", 1)
+    report, metrics = machine.run_workload(
+        args.workload, duration_s=args.duration, clients=clients
+    )
+    rows = [("organization", args.organization), ("workload", args.workload),
+            ("records", report.records)]
+    if clients > 1:
+        rows.append(("clients", clients))
+    rows += _metric_rows(metrics)
+    if clients > 1:
+        rows.append(
+            ("dispatch delay (total)",
+             f"{metrics.extras.get('dispatch_delay_total_s', 0.0):.2f} s")
+        )
+        for cid, stats in sorted(report.per_client.items()):
+            rows.append(
+                (f"client {cid}",
+                 f"{stats['records']} ops, {stats['errors']} errors")
+            )
     print(
         format_kv(
-            [("organization", args.organization), ("workload", args.workload),
-             ("records", report.records)] + _metric_rows(metrics),
+            rows,
             title=f"{args.workload} on {args.organization} "
             f"({args.duration:.0f} simulated seconds)",
         )
@@ -189,7 +206,10 @@ def _cmd_compare(args) -> int:
     for org in Organization:
         args.organization = org.value
         machine = _machine_for(args)
-        _report, metrics = machine.run_workload(args.workload, duration_s=args.duration)
+        _report, metrics = machine.run_workload(
+            args.workload, duration_s=args.duration,
+            clients=getattr(args, "clients", 1),
+        )
         rows.append(
             [
                 org.value,
@@ -444,7 +464,10 @@ def _cmd_metrics(args) -> int:
     import json
 
     machine = _machine_for(args)
-    machine.run_workload(args.workload, duration_s=args.duration)
+    machine.run_workload(
+        args.workload, duration_s=args.duration,
+        clients=getattr(args, "clients", 1),
+    )
     now = machine.clock.now
     if args.json:
         print(json.dumps(machine.hub.snapshot(now), indent=2, sort_keys=True))
@@ -714,6 +737,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--disk-mb", type=float, default=40.0)
         p.add_argument("--buffer-kb", type=float, default=1024.0)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--clients", type=int, default=1,
+                       help="concurrent client streams (default 1)")
 
     def add_trace_arg(p):
         p.add_argument(

@@ -488,20 +488,52 @@ class MobileComputer:
         seed: Optional[int] = None,
         duration_s: float = 300.0,
         sync_at_end: bool = True,
+        clients: int = 1,
     ) -> Tuple[ReplayReport, RunMetrics]:
-        """Generate, replay, and measure a named workload."""
+        """Generate, replay, and measure a named workload.
+
+        ``clients`` > 1 runs that many concurrent client streams (each a
+        seed-derived variant of the workload) through the kernel
+        scheduler; a single client takes the same scheduler path, which
+        is numerically identical to the synchronous :meth:`run_trace`
+        (pinned by the equivalence tests).
+        """
+        if clients < 1:
+            raise ValueError("clients must be >= 1")
         seed = self.config.seed if seed is None else seed
         factory = WORKLOADS[workload]
         profile = factory(duration_s=duration_s)  # type: ignore[operator]
         if profile.programs:
             self.register_programs(profile.programs)
-        trace = generate_workload(workload, seed=seed, duration_s=duration_s)
-        report = self.run_trace(trace, sync_at_end=sync_at_end)
-        return report, self.collect_metrics(report, workload)
+        if clients == 1:
+            streams = [generate_workload(workload, seed=seed, duration_s=duration_s)]
+        else:
+            # Each client replays its own seed-derived trace variant so
+            # the streams are decorrelated but exactly reproducible.
+            streams = [
+                generate_workload(
+                    workload,
+                    seed=substream(seed, f"client{i}").seed,
+                    duration_s=duration_s,
+                )
+                for i in range(clients)
+            ]
+        report = self.run_streams(streams, sync_at_end=sync_at_end)
+        return report, self.collect_metrics(report, workload, clients=clients)
 
     def run_trace(self, trace, sync_at_end: bool = True) -> ReplayReport:
+        """Synchronous single-stream replay (the seed reference path)."""
         replayer = TraceReplayer(self.fs, engine=self.engine, exec_handler=self._exec_handler)
         report = replayer.replay(trace)
+        if sync_at_end:
+            self.fs.sync()
+        self.power.settle(self.clock.now)
+        return report
+
+    def run_streams(self, streams, sync_at_end: bool = True) -> ReplayReport:
+        """Replay one or more client streams via the kernel request path."""
+        replayer = TraceReplayer(self.fs, engine=self.engine, exec_handler=self._exec_handler)
+        report = replayer.replay_scheduled(streams)
         if sync_at_end:
             self.fs.sync()
         self.power.settle(self.clock.now)
@@ -511,7 +543,9 @@ class MobileComputer:
     # Metrics.
     # ------------------------------------------------------------------
 
-    def collect_metrics(self, report: ReplayReport, workload: str) -> RunMetrics:
+    def collect_metrics(
+        self, report: ReplayReport, workload: str, clients: int = 1
+    ) -> RunMetrics:
         now = self.clock.now
         self.power.settle(now)
         m = RunMetrics(
@@ -558,6 +592,20 @@ class MobileComputer:
             m.launches = int(launches)
             m.mean_launch_latency = self.stats.histogram("launch_latency").mean
             m.launch_dram_pages = int(self.stats.histogram("launch_dram_pages").mean)
+        if clients > 1:
+            # Contention metrics only exist under concurrency; single-
+            # client snapshots stay byte-identical to the seed output.
+            m.extras["clients"] = clients
+            m.extras["p99_read_latency"] = report.op_latency.get("read", {}).get("p99", 0.0)
+            m.extras["p99_write_latency"] = report.op_latency.get("write", {}).get("p99", 0.0)
+            if report.scheduler is not None:
+                procs = report.scheduler["processes"]
+                m.extras["dispatch_delay_total_s"] = sum(
+                    p["dispatch_delay_total_s"] for p in procs
+                )
+                m.extras["dispatch_delay_max_s"] = max(
+                    p["dispatch_delay_max_s"] for p in procs
+                )
         return m
 
     def snapshot(self) -> dict:

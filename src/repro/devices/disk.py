@@ -145,6 +145,9 @@ class MagneticDisk(StorageDevice):
         self._last_op_end = now + spin_delay + service
         # Time covered by the operation is active, not idle.
         self._idle_accounted_to = max(self._idle_accounted_to, self._last_op_end)
+        # Spin-up occupies the mechanism just like service does: a request
+        # queued behind this operation waits for both.
+        self.queue.occupy(now, spin_delay + service)
         return AccessResult(
             latency=spin_delay + service,
             energy=spin_energy + power * service,
@@ -156,7 +159,9 @@ class MagneticDisk(StorageDevice):
         result = self._access(offset, nbytes, now, write=False)
         self.stats.record_read(nbytes, result)
         if self.tracer is not None:
-            self.tracer.emit(self.name, "read", now, nbytes, result.latency)
+            detail = {"wait": result.wait} if result.wait > 0.0 else None
+            self.tracer.emit(self.name, "read", now, nbytes, result.latency,
+                             detail=detail)
         return bytes(self._data_view(offset, nbytes)), result
 
     def charge_read(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
@@ -170,7 +175,9 @@ class MagneticDisk(StorageDevice):
         result = self._access(offset, nbytes, now, write=False)
         self.stats.record_read(nbytes, result)
         if self.tracer is not None:
-            self.tracer.emit(self.name, "charge_read", now, nbytes, result.latency)
+            detail = {"wait": result.wait} if result.wait > 0.0 else None
+            self.tracer.emit(self.name, "charge_read", now, nbytes, result.latency,
+                             detail=detail)
         return result
 
     def charge_write(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
@@ -179,7 +186,9 @@ class MagneticDisk(StorageDevice):
         result = self._access(offset, nbytes, now, write=True)
         self.stats.record_write(nbytes, result)
         if self.tracer is not None:
-            self.tracer.emit(self.name, "charge_write", now, nbytes, result.latency)
+            detail = {"wait": result.wait} if result.wait > 0.0 else None
+            self.tracer.emit(self.name, "charge_write", now, nbytes, result.latency,
+                             detail=detail)
         return result
 
     def write(self, offset: int, data: bytes, now: float) -> AccessResult:
@@ -188,7 +197,9 @@ class MagneticDisk(StorageDevice):
         self._store(offset, data)
         self.stats.record_write(len(data), result)
         if self.tracer is not None:
-            self.tracer.emit(self.name, "write", now, len(data), result.latency)
+            detail = {"wait": result.wait} if result.wait > 0.0 else None
+            self.tracer.emit(self.name, "write", now, len(data), result.latency,
+                             detail=detail)
         return result
 
     # Disks can be large; allocate backing store lazily per 64 KB chunk so

@@ -46,8 +46,11 @@ class DRAM(StorageDevice):
         if not self.powered:
             raise PowerLossError(self.name, "DRAM is unpowered")
 
-    def _service(self, overhead: float, per_byte: float, nbytes: int, power: float) -> AccessResult:
+    def _service(self, overhead: float, per_byte: float, nbytes: int, power: float, now: float) -> AccessResult:
         latency = overhead + per_byte * nbytes
+        # DRAM has no internal contention, but its busy window still
+        # feeds the kernel request path's queue/utilisation accounting.
+        self.queue.occupy(now, latency)
         return AccessResult(latency=latency, energy=power * latency)
 
     def read(self, offset: int, nbytes: int, now: float) -> Tuple[bytes, AccessResult]:
@@ -58,6 +61,7 @@ class DRAM(StorageDevice):
             self.spec.read_per_byte_s,
             nbytes,
             self.spec.active_read_power_w,
+            now,
         )
         self.stats.record_read(nbytes, result)
         if self.tracer is not None:
@@ -80,6 +84,7 @@ class DRAM(StorageDevice):
             self.spec.read_per_byte_s,
             nbytes,
             self.spec.active_read_power_w,
+            now,
         )
         self.stats.record_read(nbytes, result)
         if self.tracer is not None:
@@ -95,6 +100,7 @@ class DRAM(StorageDevice):
             self.spec.read_per_byte_s,
             nbytes,
             self.spec.active_read_power_w,
+            now,
         )
         self.stats.record_read(nbytes, result)
         if self.tracer is not None:
@@ -110,6 +116,7 @@ class DRAM(StorageDevice):
             self.spec.write_per_byte_s,
             nbytes,
             self.spec.active_write_power_w,
+            now,
         )
         self.stats.record_write(nbytes, result)
         if self.tracer is not None:
@@ -124,6 +131,7 @@ class DRAM(StorageDevice):
             self.spec.write_per_byte_s,
             len(data),
             self.spec.active_write_power_w,
+            now,
         )
         self._data[offset : offset + len(data)] = data
         self.stats.record_write(len(data), result)

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.devices.base import AccessResult, StorageDevice
+from repro.devices.base import AccessResult, DeviceQueue, IORequest, StorageDevice
 from repro.devices.catalog import MB, FLASH_PAPER_NOMINAL, DeviceSpec
 from repro.devices.errors import WornOutError, WriteBeforeEraseError
 
@@ -35,12 +35,27 @@ ERASED_BYTE = 0xFF
 
 @dataclass
 class FlashBankState:
-    """Dynamic state of one flash bank."""
+    """Dynamic state of one flash bank.
+
+    Each bank is an independent service centre in the kernel request
+    path, so its busy horizon lives in a :class:`DeviceQueue` (the same
+    structure every other device uses) instead of a bespoke float.
+    ``busy_until`` remains available as a read-only property for
+    existing call sites and tests.
+    """
 
     index: int
-    busy_until: float = 0.0
     programs: int = 0
     erases: int = 0
+    queue: Optional[DeviceQueue] = None
+
+    def __post_init__(self) -> None:
+        if self.queue is None:
+            self.queue = DeviceQueue(f"bank{self.index}")
+
+    @property
+    def busy_until(self) -> float:
+        return self.queue.busy_until
 
 
 @dataclass
@@ -170,10 +185,49 @@ class FlashMemory(StorageDevice):
 
     def _wait_for_bank(self, bank: int, now: float) -> float:
         """Seconds the request must wait for the bank to go idle."""
-        return max(0.0, self.bank_states[bank].busy_until - now)
+        return self.bank_states[bank].queue.wait_for(now)
 
     def _occupy_bank(self, bank: int, start: float, service: float) -> None:
-        self.bank_states[bank].busy_until = start + service
+        self.bank_states[bank].queue.occupy(start, service)
+
+    # ------------------------------------------------------------------
+    # Kernel request path.
+    #
+    # Flash's service model already arbitrates per bank inside every
+    # operation -- that is the paper's partitioning argument (Section
+    # 3.3, experiment E8) -- so a device-level FIFO in front of it would
+    # serialize banks that can run in parallel.  submit() therefore
+    # services immediately and reports the bank stall as the request's
+    # queue wait; the device-level queue only aggregates statistics.
+    # ------------------------------------------------------------------
+
+    def submit(self, request: IORequest, now: Optional[float] = None) -> IORequest:
+        if now is not None:
+            request.issue_time = now
+        inner = self._service_request(request, request.issue_time)
+        wait = inner.wait
+        self.queue.admissions += 1
+        if wait > 0.0:
+            self.queue.queued_admissions += 1
+            self.queue.queue_wait_time += wait
+            if self.tracer is not None:
+                detail = {"wait": wait}
+                if request.client is not None:
+                    detail["client"] = request.client
+                self.tracer.emit(
+                    self.name, "queue_wait", request.issue_time,
+                    request.nbytes, wait, detail=detail,
+                )
+        request.queue_wait = wait
+        request.start_time = request.issue_time + wait
+        request.result = inner
+        return request
+
+    def _service_request(self, request: IORequest, start: float) -> AccessResult:
+        if request.kind == "erase":
+            # ``offset`` carries the sector index for erase requests.
+            return self.erase_sector(request.offset, start)
+        return super()._service_request(request, start)
 
     # ------------------------------------------------------------------
     # Operations.
@@ -206,8 +260,11 @@ class FlashMemory(StorageDevice):
             wait=wait,
         )
         self.stats.record_read(nbytes, result)
+        self.queue.occupy(now + wait, latency - wait)
         if self.tracer is not None:
-            self.tracer.emit(self.name, "read", now, nbytes, result.latency)
+            detail = {"wait": wait} if wait > 0.0 else None
+            self.tracer.emit(self.name, "read", now, nbytes, result.latency,
+                             detail=detail)
         return bytes(self._data[offset : offset + nbytes]), result
 
     def write(self, offset: int, data: bytes, now: float) -> AccessResult:
@@ -243,8 +300,11 @@ class FlashMemory(StorageDevice):
             wait=wait,
         )
         self.stats.record_read(nbytes, result)
+        self.queue.occupy(now + wait, latency - wait)
         if self.tracer is not None:
-            self.tracer.emit(self.name, "charge_read", now, nbytes, result.latency)
+            detail = {"wait": wait} if wait > 0.0 else None
+            self.tracer.emit(self.name, "charge_read", now, nbytes, result.latency,
+                             detail=detail)
         return result
 
     def charge_write(self, nbytes: int, now: float, offset: int = 0) -> AccessResult:
@@ -279,8 +339,11 @@ class FlashMemory(StorageDevice):
             wait=wait,
         )
         self.stats.record_write(nbytes, result)
+        self.queue.occupy(now + wait, latency - wait)
         if self.tracer is not None:
-            self.tracer.emit(self.name, "charge_write", now, nbytes, result.latency)
+            detail = {"wait": wait} if wait > 0.0 else None
+            self.tracer.emit(self.name, "charge_write", now, nbytes, result.latency,
+                             detail=detail)
         return result
 
     def program(self, offset: int, data: bytes, now: float) -> AccessResult:
@@ -322,12 +385,16 @@ class FlashMemory(StorageDevice):
             wait=wait,
         )
         self.stats.record_write(nbytes, result)
+        self.queue.occupy(now + wait, latency - wait)
         if self.tracer is not None:
             # Bank detail feeds the per-bank wear / write-amplification
             # series in repro.obs.analyze.
+            detail = {"bank": self.bank_of_offset(offset)}
+            if wait > 0.0:
+                detail["wait"] = wait
             self.tracer.emit(
                 self.name, "program", now, nbytes, result.latency,
-                detail={"bank": self.bank_of_offset(offset)},
+                detail=detail,
             )
         return result
 
@@ -367,10 +434,14 @@ class FlashMemory(StorageDevice):
             wait=stall,
         )
         self.stats.record_erase(result)
+        self.queue.occupy(now + stall, service)
         if self.tracer is not None:
+            detail = {"sector": sector, "bank": self.bank_of_sector(sector)}
+            if stall > 0.0:
+                detail["wait"] = stall
             self.tracer.emit(
                 self.name, "erase", now, self.sector_bytes, result.latency,
-                detail={"sector": sector, "bank": self.bank_of_sector(sector)},
+                detail=detail,
             )
         return result
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 
 class FSError(Exception):
@@ -81,6 +81,36 @@ def parent_and_name(path: str) -> Tuple[List[str], str]:
     return parts[:-1], parts[-1]
 
 
+@dataclass
+class FSRequest:
+    """One kernel-level file-system request.
+
+    The file-system analogue of :class:`repro.devices.base.IORequest`:
+    the replayer (and any future kernel entry point) describes each
+    operation as data, so requests can be attributed to a client and
+    dispatched uniformly by :meth:`FileSystem.apply`.
+
+    Attributes:
+        op: ``mkdir`` | ``create`` | ``write`` | ``read`` | ``truncate``
+            | ``delete`` | ``rename`` | ``sync``.
+        path: target path (unused for ``sync``).
+        offset: byte offset for ``read``/``write``.
+        nbytes: read size, or the target size for ``truncate``.
+        data: payload for ``write``.
+        new_path: destination for ``rename``.
+        client: originating client id (None for kernel-internal or
+            single-client traffic).
+    """
+
+    op: str
+    path: str = ""
+    offset: int = 0
+    nbytes: int = 0
+    data: Optional[bytes] = None
+    new_path: Optional[str] = None
+    client: Optional[int] = None
+
+
 class FileSystem(ABC):
     """Path-based file operations shared by all organizations."""
 
@@ -131,6 +161,39 @@ class FileSystem(ABC):
     @abstractmethod
     def sync(self) -> None:
         """Push all dirty state to stable storage."""
+
+    def apply(self, request: FSRequest) -> Optional[bytes]:
+        """Apply one :class:`FSRequest`; returns the payload for reads.
+
+        Dispatch uses the replayer's tolerant semantics (idempotent
+        ``mkdir``/``create``, create-on-first-write) so that replaying
+        the same trace against any organization -- or the same trace
+        from several concurrent clients -- is well defined.
+        """
+        op = request.op
+        if op == "mkdir":
+            if not self.exists(request.path):
+                self.mkdir(request.path)
+        elif op == "create":
+            if not self.exists(request.path):
+                self.create(request.path)
+        elif op == "write":
+            if not self.exists(request.path):
+                self.create(request.path)
+            self.write(request.path, request.offset, request.data or b"")
+        elif op == "read":
+            return self.read(request.path, request.offset, request.nbytes)
+        elif op == "truncate":
+            self.truncate(request.path, request.nbytes)
+        elif op == "delete":
+            self.delete(request.path)
+        elif op == "rename":
+            self.rename(request.path, request.new_path or request.path)
+        elif op == "sync":
+            self.sync()
+        else:
+            raise ValueError(f"unhandled FS request op {op!r}")
+        return None
 
     def read_file(self, path: str) -> bytes:
         """Convenience: whole-file read."""

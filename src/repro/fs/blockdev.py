@@ -9,9 +9,11 @@ secondary-storage organizations experiment E12 compares.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Dict, List
 
 from repro.devices.disk import MagneticDisk
 from repro.sim.clock import SimClock
+from repro.sim.sched import current_client
 
 
 class BlockDevice(ABC):
@@ -23,6 +25,17 @@ class BlockDevice(ABC):
         self.name = name
         self.block_size = block_size
         self.nblocks = nblocks
+        # Per-client [reads, writes] tallies, populated only when block
+        # I/O happens under the multi-client scheduler (empty otherwise).
+        self.client_ops: Dict[int, List[int]] = {}
+
+    def note_client_io(self, write: bool) -> None:
+        """Attribute one block I/O to the scheduler's current client."""
+        client = current_client()
+        if client is None:
+            return
+        tally = self.client_ops.setdefault(client, [0, 0])
+        tally[1 if write else 0] += 1
 
     def check_lba(self, lba: int) -> None:
         if not 0 <= lba < self.nblocks:
@@ -60,6 +73,7 @@ class DiskBlockDevice(BlockDevice):
 
     def read_block(self, lba: int) -> bytes:
         self.check_lba(lba)
+        self.note_client_io(write=False)
         data, result = self.disk.read(lba * self.block_size, self.block_size, self.clock.now)
         self.clock.advance(result.latency)
         return data
@@ -68,5 +82,6 @@ class DiskBlockDevice(BlockDevice):
         self.check_lba(lba)
         if len(data) != self.block_size:
             raise ValueError(f"block write must be exactly {self.block_size} bytes")
+        self.note_client_io(write=True)
         result = self.disk.write(lba * self.block_size, data, self.clock.now)
         self.clock.advance(result.latency)

@@ -18,6 +18,7 @@ from repro.devices.dram import DRAM
 from repro.fs.blockdev import BlockDevice
 from repro.sim.clock import SimClock
 from repro.sim.engine import Engine
+from repro.sim.sched import current_client
 from repro.sim.stats import StatRegistry
 
 
@@ -66,13 +67,18 @@ class BufferCache:
     # ------------------------------------------------------------------
 
     def read(self, lba: int) -> bytes:
+        client = current_client()
         block = self._blocks.get(lba)
         if block is not None:
             self._blocks.move_to_end(lba)
             self.stats.counter("hits").add(1)
+            if client is not None:
+                self.stats.counter(f"client{client}_hits").add(1)
             self._charge_dram(self.device.block_size, write=False)
             return bytes(block)
         self.stats.counter("misses").add(1)
+        if client is not None:
+            self.stats.counter(f"client{client}_misses").add(1)
         data = self.device.read_block(lba)  # timed device read
         self._install(lba, bytearray(data), dirty=False)
         return data
@@ -82,6 +88,9 @@ class BufferCache:
             raise ValueError("cache writes whole blocks")
         self.device.check_lba(lba)
         self.stats.counter("writes").add(1)
+        client = current_client()
+        if client is not None:
+            self.stats.counter(f"client{client}_writes").add(1)
         self._charge_dram(len(data), write=True)
         if lba in self._blocks:
             self._blocks[lba][:] = data

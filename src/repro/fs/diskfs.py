@@ -36,6 +36,7 @@ import struct
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+from repro.sim.sched import current_client
 from repro.fs.api import (
     FileExistsFSError,
     FileNotFoundFSError,
@@ -206,8 +207,15 @@ class ConventionalFileSystem(FileSystem):
     def _timed(self, op: str) -> Iterator[None]:
         start = self.clock.now
         yield
+        elapsed = self.clock.now - start
         self.stats.counter(f"{op}_ops").add(1)
-        self.stats.histogram(f"{op}_latency").record(self.clock.now - start)
+        self.stats.histogram(f"{op}_latency").record(elapsed)
+        client = current_client()
+        if client is not None:
+            # Per-client attribution exists only under the multi-client
+            # scheduler, so single-client snapshots are unchanged.
+            self.stats.counter(f"client{client}_{op}_ops").add(1)
+            self.stats.histogram(f"client{client}_{op}_latency").record(elapsed)
 
     # ------------------------------------------------------------------
     # Inode table access.

@@ -43,6 +43,7 @@ class EraseInPlaceFlashBlockDevice(BlockDevice):
 
     def read_block(self, lba: int) -> bytes:
         self.check_lba(lba)
+        self.note_client_io(write=False)
         data, result = self.flash.read(lba * self.block_size, self.block_size, self.clock.now)
         self.clock.advance(result.latency)
         return data
@@ -51,6 +52,7 @@ class EraseInPlaceFlashBlockDevice(BlockDevice):
         self.check_lba(lba)
         if len(data) != self.block_size:
             raise ValueError(f"block write must be exactly {self.block_size} bytes")
+        self.note_client_io(write=True)
         offset = lba * self.block_size
         sector_bytes = self.flash.sector_bytes
         first_sector = offset // sector_bytes
@@ -109,6 +111,7 @@ class LogStructuredFTL(BlockDevice):
 
     def read_block(self, lba: int) -> bytes:
         self.check_lba(lba)
+        self.note_client_io(write=False)
         key = self._key(lba)
         if not self.store.contains(key):
             return bytes(self.block_size)  # never-written block
@@ -118,6 +121,7 @@ class LogStructuredFTL(BlockDevice):
         self.check_lba(lba)
         if len(data) != self.block_size:
             raise ValueError(f"block write must be exactly {self.block_size} bytes")
+        self.note_client_io(write=True)
         self.store.write_block(self._key(lba), data)
 
     def trim(self, lba: int) -> None:

@@ -170,19 +170,31 @@ class Timeline:
 class OpStats:
     """Count / byte / outcome / latency aggregate for one (component, op)."""
 
-    __slots__ = ("count", "bytes", "outcomes", "latency")
+    __slots__ = ("count", "bytes", "outcomes", "latency",
+                 "total_latency_s", "wait_s", "stalled")
 
     def __init__(self) -> None:
         self.count = 0
         self.bytes = 0
         self.outcomes: Dict[str, int] = {}
         self.latency = LatencyHistogram()
+        # Stall accounting: devices report the queueing/spin-up portion
+        # of each access in the event's ``detail.wait``; splitting it
+        # out separates pure service time from time spent waiting.
+        self.total_latency_s = 0.0
+        self.wait_s = 0.0
+        self.stalled = 0
 
-    def feed(self, nbytes: int, latency_s: float, outcome: str) -> None:
+    def feed(self, nbytes: int, latency_s: float, outcome: str,
+             wait_s: float = 0.0) -> None:
         self.count += 1
         self.bytes += nbytes
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
         self.latency.record(latency_s)
+        self.total_latency_s += latency_s
+        if wait_s > 0.0:
+            self.wait_s += wait_s
+            self.stalled += 1
 
     def summary(self) -> dict:
         return {
@@ -190,6 +202,9 @@ class OpStats:
             "bytes": self.bytes,
             "outcomes": dict(sorted(self.outcomes.items())),
             "latency": self.latency.summary(),
+            "wait_s": self.wait_s,
+            "service_s": max(0.0, self.total_latency_s - self.wait_s),
+            "stalled": self.stalled,
         }
 
 
@@ -252,7 +267,8 @@ class TraceAnalysis:
         stats = self.ops.get((component, op))
         if stats is None:
             stats = self.ops[(component, op)] = OpStats()
-        stats.feed(nbytes, latency_s, outcome)
+        wait_s = detail.get("wait", 0.0) if detail else 0.0
+        stats.feed(nbytes, latency_s, outcome, wait_s=wait_s)
 
         if component == "engine":
             if op == "event":
@@ -492,7 +508,7 @@ def render_summary(summary: dict, top_ops: int = 20) -> str:
     )[:top_ops]
     sections.append(
         format_table(
-            ["op", "count", "bytes", "p50", "p95", "p99"],
+            ["op", "count", "bytes", "p50", "p95", "p99", "stalled", "wait_s"],
             [
                 [
                     name,
@@ -501,6 +517,8 @@ def render_summary(summary: dict, top_ops: int = 20) -> str:
                     _fmt_lat(stats["latency"]["p50_s"]),
                     _fmt_lat(stats["latency"]["p95_s"]),
                     _fmt_lat(stats["latency"]["p99_s"]),
+                    stats.get("stalled", 0) or None,
+                    f"{stats['wait_s']:.3f}" if stats.get("wait_s") else None,
                 ]
                 for name, stats in op_rows
             ],

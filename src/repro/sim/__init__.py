@@ -10,6 +10,8 @@ subsystem builds on:
   averages used for all experiment metrics.
 - :mod:`repro.sim.rand` -- deterministic random streams so every experiment
   is exactly reproducible from a seed.
+- :mod:`repro.sim.sched` -- a cooperative generator-based process scheduler
+  (the kernel request path's multi-client substrate).
 
 All simulated time is in **seconds**, all sizes in **bytes**, all energy in
 **joules**.  Nothing in this package knows about storage devices.
@@ -18,6 +20,7 @@ All simulated time is in **seconds**, all sizes in **bytes**, all energy in
 from repro.sim.clock import SimClock
 from repro.sim.engine import Engine, Event
 from repro.sim.rand import RandomStream, substream
+from repro.sim.sched import Process, Scheduler, current_client
 from repro.sim.stats import (
     Counter,
     Histogram,
@@ -29,6 +32,9 @@ __all__ = [
     "SimClock",
     "Engine",
     "Event",
+    "Process",
+    "Scheduler",
+    "current_client",
     "RandomStream",
     "substream",
     "Counter",

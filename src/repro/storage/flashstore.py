@@ -36,6 +36,7 @@ from repro.devices.errors import EraseFailedError, ProgramFailedError
 from repro.devices.flash import FlashMemory
 from repro.faults.ecc import ECC_BYTES, ecc_check, ecc_encode
 from repro.sim.clock import SimClock
+from repro.sim.sched import current_client
 from repro.sim.stats import StatRegistry
 from repro.storage.allocator import Location, OutOfFlashSpace, SectorAllocator, SectorState
 from repro.storage.banks import BankPartition
@@ -334,14 +335,17 @@ class FlashStore:
             # Logical store write with its destination bank: the
             # denominator of per-bank write amplification (the matching
             # physical bytes come from the device's "program" events).
+            detail = {
+                "device": self.flash.name,
+                "sector": sector,
+                "bank": self.flash.bank_of_sector(sector),
+            }
+            client = current_client()
+            if client is not None:
+                detail["client"] = client
             self.tracer.emit(
                 "flashstore", "write", t0, len(data), self.clock.now - t0,
-                outcome=outcome,
-                detail={
-                    "device": self.flash.name,
-                    "sector": sector,
-                    "bank": self.flash.bank_of_sector(sector),
-                },
+                outcome=outcome, detail=detail,
             )
 
     def read_block(self, key: Hashable) -> bytes:

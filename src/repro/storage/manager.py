@@ -23,6 +23,7 @@ from repro.devices.dram import DRAM
 from repro.devices.flash import FlashMemory
 from repro.sim.clock import SimClock
 from repro.sim.engine import Engine
+from repro.sim.sched import current_client
 from repro.sim.stats import StatRegistry
 from repro.storage.allocator import OutOfFlashSpace
 from repro.storage.compression import BlockCompressor
@@ -159,6 +160,9 @@ class StorageManager:
         now = self.clock.now
         self.tracker.record_write(key, now)
         self.stats.counter("user_bytes_written").add(len(data))
+        client = current_client()
+        if client is not None:
+            self.stats.counter(f"client{client}_bytes_written").add(len(data))
         hot = self.tracker.is_hot(key, now)
         items = self.buffer.put(key, data, hot=hot)
         self._persist_items(items)

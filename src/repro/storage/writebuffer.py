@@ -35,6 +35,7 @@ from typing import Hashable, List, Optional
 
 from repro.devices.dram import DRAM
 from repro.sim.clock import SimClock
+from repro.sim.sched import current_client
 from repro.sim.stats import StatRegistry
 
 
@@ -157,8 +158,10 @@ class WriteBuffer:
             self.stats.counter("flushed_bytes").add(len(data))
             self.stats.counter(f"flushed_{FlushReason.WATERMARK.value}").add(1)
             if self.tracer is not None:
+                client = current_client()
                 self.tracer.emit(
-                    "writebuffer", "put", now, len(data), outcome="writethrough"
+                    "writebuffer", "put", now, len(data), outcome="writethrough",
+                    detail={"client": client} if client is not None else None,
                 )
             return [FlushItem(key, data, FlushReason.WATERMARK, 0.0, hot, now)]
 
@@ -182,12 +185,14 @@ class WriteBuffer:
         if self.tracer is not None:
             # "prev" (bytes of the overwritten version) lets a live
             # conservation monitor track buffered bytes exactly.
+            detail = {"prev": len(existing.data)} if existing is not None else {}
+            client = current_client()
+            if client is not None:
+                detail["client"] = client
             self.tracer.emit(
                 "writebuffer", "put", now, len(data),
                 outcome="overwrite" if existing is not None else "buffered",
-                detail=(
-                    {"prev": len(existing.data)} if existing is not None else None
-                ),
+                detail=detail or None,
             )
 
         if self._bytes <= self.capacity_bytes:

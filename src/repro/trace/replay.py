@@ -12,14 +12,16 @@ can be verified against an independent model if desired.
 
 from __future__ import annotations
 
+import dataclasses
 import zlib
 from dataclasses import dataclass, field
 from functools import lru_cache
 from random import Random
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.fs.api import FileSystem, FSError
+from repro.fs.api import FileSystem, FSError, FSRequest
 from repro.sim.engine import Engine
+from repro.sim.sched import Scheduler
 from repro.sim.stats import Histogram, StatRegistry
 from repro.trace.model import OpType, TraceRecord
 
@@ -89,6 +91,10 @@ class ReplayReport:
     trace_duration_s: float = 0.0
     op_counts: Dict[str, int] = field(default_factory=dict)
     op_latency: Dict[str, dict] = field(default_factory=dict)
+    # Multi-client replay only (empty / None for single-client runs, so
+    # single-client snapshots stay identical to the synchronous path).
+    per_client: Dict[int, dict] = field(default_factory=dict)
+    scheduler: Optional[dict] = None
 
     @property
     def slowdown(self) -> float:
@@ -105,7 +111,7 @@ class ReplayReport:
         return self.op_latency.get(op, {}).get("mean", 0.0)
 
     def snapshot(self) -> dict:
-        return {
+        out = {
             "records": self.records,
             "errors": self.errors,
             "bytes_written": self.bytes_written,
@@ -115,6 +121,11 @@ class ReplayReport:
             "op_counts": dict(self.op_counts),
             "op_latency": dict(self.op_latency),
         }
+        if self.per_client:
+            out["per_client"] = {c: dict(d) for c, d in self.per_client.items()}
+        if self.scheduler is not None:
+            out["scheduler"] = self.scheduler
+        return out
 
 
 class TraceReplayer:
@@ -164,33 +175,164 @@ class TraceReplayer:
         report.op_latency = {op: h.summary() for op, h in histograms.items()}
         return report
 
-    def _dispatch(self, record: TraceRecord, report: ReplayReport) -> None:
+    # ------------------------------------------------------------------
+    # Kernel request path: N concurrent client streams.
+    # ------------------------------------------------------------------
+
+    def replay_scheduled(
+        self, streams: Sequence[Iterable[TraceRecord]]
+    ) -> ReplayReport:
+        """Replay one or more client streams through the scheduler.
+
+        Each stream becomes a cooperative process (see
+        :mod:`repro.sim.sched`); steps across clients interleave in
+        global timestamp order against the shared clock and engine.
+        With one stream the loop is step-for-step identical to
+        :meth:`replay` -- the process spawns with ``client=None`` so no
+        client context is set and metrics/trace bytes match the
+        synchronous path exactly (pinned by ``tests/test_equivalence``).
+
+        With several streams the report additionally carries
+        ``per_client`` op counts/latency and the scheduler's
+        dispatch-delay accounting.
+        """
+        if self.engine is None:
+            raise ValueError("scheduled replay requires an engine")
+        if not streams:
+            raise ValueError("scheduled replay needs at least one stream")
+        report = ReplayReport()
+        histograms: Dict[str, Histogram] = {}
+        multi = len(streams) > 1
+        # Mutable cell for the max record timestamp across all clients.
+        last_time = [0.0]
+        sched = Scheduler(self.engine)
+        client_stats: Dict[int, dict] = {}
+        for idx, records in enumerate(streams):
+            client = idx if multi else None
+            if multi:
+                client_stats[idx] = {
+                    "records": 0,
+                    "errors": 0,
+                    "bytes_written": 0,
+                    "bytes_read": 0,
+                    "op_counts": {},
+                    "_hists": {},
+                }
+            sched.spawn(
+                self._client_process(
+                    records, report, histograms, last_time,
+                    client, client_stats.get(idx),
+                ),
+                name=f"client{idx}",
+                client=client,
+            )
+        sched.run()
+        report.trace_duration_s = last_time[0]
+        report.elapsed_sim_s = self._clock_now()
+        report.op_latency = {op: h.summary() for op, h in histograms.items()}
+        if multi:
+            for idx, stats in client_stats.items():
+                hists = stats.pop("_hists")
+                stats["op_latency"] = {op: h.summary() for op, h in hists.items()}
+                report.per_client[idx] = stats
+            report.scheduler = sched.snapshot()
+        return report
+
+    def _client_process(
+        self,
+        records: Iterable[TraceRecord],
+        report: ReplayReport,
+        histograms: Dict[str, Histogram],
+        last_time: List[float],
+        client: Optional[int],
+        stats: Optional[dict],
+    ):
+        """Generator body of one client: yield each record's time, then
+        dispatch it synchronously when the scheduler resumes us.
+
+        Concurrent clients replay into private subtrees (``/c<N>/...``):
+        the streams are independently generated, so without namespace
+        isolation one client's DELETE would invalidate another's READ.
+        Contention stays where it belongs -- in the shared devices,
+        caches, and buffers -- while per-client op counts are conserved
+        under any interleaving (the hypothesis property pins this).
+        """
+        prefix = f"/c{client}" if client is not None else None
+        rooted = prefix is None
+        for record in records:
+            if record.time > last_time[0]:
+                last_time[0] = record.time
+            if prefix is not None:
+                record = dataclasses.replace(
+                    record,
+                    path=prefix + record.path if record.path else record.path,
+                    new_path=(prefix + record.new_path) if record.new_path else None,
+                )
+            yield record.time
+            if not rooted:
+                # First resumed step: carve out this client's subtree
+                # (direct call, deliberately uncounted in op stats).
+                if not self.fs.exists(prefix):
+                    self.fs.mkdir(prefix)
+                rooted = True
+            start = self._clock_now()
+            written, read = report.bytes_written, report.bytes_read
+            try:
+                self._dispatch(record, report, client=client)
+            except FSError:
+                report.errors += 1
+                if stats is not None:
+                    stats["errors"] += 1
+                if self.strict:
+                    raise
+            elapsed = self._clock_now() - start
+            op = record.op.value
+            report.records += 1
+            report.op_counts[op] = report.op_counts.get(op, 0) + 1
+            histograms.setdefault(op, Histogram(op)).record(elapsed)
+            if stats is not None:
+                stats["records"] += 1
+                stats["bytes_written"] += report.bytes_written - written
+                stats["bytes_read"] += report.bytes_read - read
+                stats["op_counts"][op] = stats["op_counts"].get(op, 0) + 1
+                stats["_hists"].setdefault(op, Histogram(op)).record(elapsed)
+
+    # Trace ops that translate 1:1 into kernel FS requests (EXEC is a
+    # program launch, not a file operation, and stays out of the map).
+    _FS_OPS = {
+        OpType.MKDIR: "mkdir",
+        OpType.CREATE: "create",
+        OpType.WRITE: "write",
+        OpType.READ: "read",
+        OpType.TRUNCATE: "truncate",
+        OpType.DELETE: "delete",
+        OpType.RENAME: "rename",
+        OpType.SYNC: "sync",
+    }
+
+    def _dispatch(
+        self, record: TraceRecord, report: ReplayReport, client: Optional[int] = None
+    ) -> None:
         op = record.op
-        if op is OpType.MKDIR:
-            if not self.fs.exists(record.path):
-                self.fs.mkdir(record.path)
-        elif op is OpType.CREATE:
-            if not self.fs.exists(record.path):
-                self.fs.create(record.path)
-        elif op is OpType.WRITE:
-            if not self.fs.exists(record.path):
-                self.fs.create(record.path)
-            data = payload_for(record.path, record.offset, record.nbytes)
-            self.fs.write(record.path, record.offset, data)
-            report.bytes_written += record.nbytes
-        elif op is OpType.READ:
-            data = self.fs.read(record.path, record.offset, record.nbytes)
-            report.bytes_read += len(data)
-        elif op is OpType.TRUNCATE:
-            self.fs.truncate(record.path, record.nbytes)
-        elif op is OpType.DELETE:
-            self.fs.delete(record.path)
-        elif op is OpType.RENAME:
-            self.fs.rename(record.path, record.new_path or record.path)
-        elif op is OpType.SYNC:
-            self.fs.sync()
-        elif op is OpType.EXEC:
+        if op is OpType.EXEC:
             if self.exec_handler is not None:
                 self.exec_handler(record)
-        else:  # pragma: no cover - exhaustive
+            return
+        fs_op = self._FS_OPS.get(op)
+        if fs_op is None:  # pragma: no cover - exhaustive
             raise ValueError(f"unhandled op {op}")
+        request = FSRequest(
+            op=fs_op,
+            path=record.path,
+            offset=record.offset,
+            nbytes=record.nbytes,
+            new_path=record.new_path,
+            client=client,
+        )
+        if op is OpType.WRITE:
+            request.data = payload_for(record.path, record.offset, record.nbytes)
+        payload = self.fs.apply(request)
+        if op is OpType.WRITE:
+            report.bytes_written += record.nbytes
+        elif op is OpType.READ and payload is not None:
+            report.bytes_read += len(payload)

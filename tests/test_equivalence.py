@@ -1,0 +1,149 @@
+"""Kernel request path vs. synchronous seed path equivalence.
+
+The scheduler path (``run_workload``/``replay_scheduled``) must be a
+pure refactor for a single client: per organization, the MetricsHub
+snapshot and the canonical trace byte stream must be identical to the
+synchronous reference path (``run_trace``).  A hypothesis property then
+pins the multi-client invariant: per-client op counts are conserved
+under any interleaving.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import Organization, SystemConfig
+from repro.core.hierarchy import MobileComputer
+from repro.obs import runtime
+from repro.obs.tracer import Tracer
+from repro.sim.rand import substream
+from repro.trace.workloads import WORKLOADS, generate_workload
+
+DURATION = 12.0
+SEED = 42
+
+
+def _machine(org: Organization) -> MobileComputer:
+    return MobileComputer(SystemConfig(organization=org, seed=SEED))
+
+
+def _sync_run(org: Organization, tmp_path, tag: str):
+    """Reference path: synchronous replay + explicit metric collection."""
+    tracer = Tracer()
+    previous = runtime.set_tracer(tracer)
+    try:
+        machine = _machine(org)
+        profile = WORKLOADS["office"](duration_s=DURATION)
+        if profile.programs:
+            machine.register_programs(profile.programs)
+        report = machine.run_trace(
+            generate_workload("office", seed=SEED, duration_s=DURATION)
+        )
+        machine.collect_metrics(report, "office")
+    finally:
+        runtime.set_tracer(previous)
+    snap = json.dumps(machine.hub.snapshot(), sort_keys=True, default=str)
+    path = str(tmp_path / f"{tag}.jsonl")
+    tracer.to_canonical_jsonl(path)
+    with open(path, "rb") as fh:
+        return snap, fh.read(), report
+
+
+def _sched_run(org: Organization, tmp_path, tag: str, clients: int = 1):
+    """Kernel request path: scheduler-driven replay."""
+    tracer = Tracer()
+    previous = runtime.set_tracer(tracer)
+    try:
+        machine = _machine(org)
+        report, _metrics = machine.run_workload(
+            "office", seed=SEED, duration_s=DURATION, clients=clients
+        )
+    finally:
+        runtime.set_tracer(previous)
+    snap = json.dumps(machine.hub.snapshot(), sort_keys=True, default=str)
+    path = str(tmp_path / f"{tag}.jsonl")
+    tracer.to_canonical_jsonl(path)
+    with open(path, "rb") as fh:
+        return snap, fh.read(), report
+
+
+@pytest.mark.parametrize("org", list(Organization), ids=lambda o: o.value)
+def test_single_client_golden_equivalence(org, tmp_path):
+    """Scheduler path == sync path: same hub snapshot, same trace bytes."""
+    sync_snap, sync_trace, sync_report = _sync_run(org, tmp_path, "sync")
+    sched_snap, sched_trace, sched_report = _sched_run(org, tmp_path, "sched")
+    assert sync_snap == sched_snap
+    assert sync_trace == sched_trace
+    assert sync_report.records == sched_report.records
+    assert sync_report.op_counts == sched_report.op_counts
+    # Single-client reports carry no multi-client extras.
+    assert sched_report.per_client == {}
+    assert sched_report.scheduler is None
+
+
+def test_single_client_report_latency_identical(tmp_path):
+    _, _, sync_report = _sync_run(Organization.SOLID_STATE, tmp_path, "s1")
+    _, _, sched_report = _sched_run(Organization.SOLID_STATE, tmp_path, "s2")
+    assert sync_report.snapshot() == sched_report.snapshot()
+
+
+def test_multi_client_totals_and_attribution(tmp_path):
+    _, _, report = _sched_run(
+        Organization.SOLID_STATE, tmp_path, "m", clients=3
+    )
+    assert set(report.per_client) == {0, 1, 2}
+    assert sum(d["records"] for d in report.per_client.values()) == report.records
+    # Every client's stream is the full workload for its derived seed.
+    for idx, stats in report.per_client.items():
+        expected = sum(
+            1
+            for _ in generate_workload(
+                "office",
+                seed=substream(SEED, f"client{idx}").seed,
+                duration_s=DURATION,
+            )
+        )
+        assert stats["records"] == expected
+    assert report.scheduler is not None
+    assert report.scheduler["steps_run"] == report.records
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nclients=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+    duration=st.floats(min_value=2.0, max_value=8.0),
+)
+def test_property_per_client_op_counts_conserved(nclients, seed, duration):
+    """Any interleaving conserves each client's op counts exactly.
+
+    The merged report must equal the element-wise sum of the per-client
+    op counts, and each client's counts must equal what its stream
+    contains -- contention may reorder and delay, never drop or
+    duplicate.
+    """
+    machine = MobileComputer(
+        SystemConfig(organization=Organization.SOLID_STATE, seed=seed)
+    )
+    report, _metrics = machine.run_workload(
+        "office", seed=seed, duration_s=duration, clients=nclients
+    )
+    merged = {}
+    for idx in range(nclients):
+        stream_counts = {}
+        for record in generate_workload(
+            "office",
+            seed=substream(seed, f"client{idx}").seed,
+            duration_s=duration,
+        ):
+            op = record.op.value
+            stream_counts[op] = stream_counts.get(op, 0) + 1
+        assert report.per_client[idx]["op_counts"] == stream_counts
+        for op, n in stream_counts.items():
+            merged[op] = merged.get(op, 0) + n
+    assert report.op_counts == merged
+    assert report.records == sum(merged.values())
